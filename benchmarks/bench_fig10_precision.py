@@ -1,0 +1,96 @@
+"""Figure 10 — Runtime vs compile-time projection precision.
+
+Paper: size of the projected document over increasing XMark sizes.
+Compile-time projection (Marian & Siméon) keeps every person with its
+age; runtime projection starts from the *filtered* person sequence
+(age < 40 here, age > 45 in the paper), so its projected documents are
+~5x smaller.
+"""
+
+import time
+
+import pytest
+
+from repro.paths.relpath import parse_rel_path
+from repro.xmark import XMarkConfig, generate_people
+from repro.xmldb.projection import project
+from repro.xmldb.serializer import serialize_node
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_query
+
+from benchmarks.conftest import print_table
+
+SCALES = (0.0025, 0.005, 0.01, 0.02)
+
+#: The projection paths of the benchmark's parameter: the person
+#: anchors plus their id attribute values.
+USED_PATHS = [parse_rel_path("attribute::id")]
+
+
+def _persons(doc, query_text):
+    module = parse_query(query_text)
+    env = DynamicContext(resolve_doc=lambda uri: doc)
+    return Evaluator(module).evaluate(module.body, env)
+
+
+def runtime_projection(doc):
+    """Project from the runtime-filtered person sequence."""
+    persons = _persons(doc, 'doc("u")//person[age < 40]')
+    used = list(persons)
+    for path in USED_PATHS:
+        used.extend(path.evaluate(persons))
+    return project(used, [])
+
+
+def compile_time_projection(doc):
+    """Project from the compile-time over-estimate: every person (the
+    path analysis cannot see the predicate's selectivity)."""
+    persons = _persons(doc, 'doc("u")//person')
+    used = list(persons)
+    for path in USED_PATHS:
+        used.extend(path.evaluate(persons))
+    # Compile-time loading also keeps the age elements it tested.
+    used.extend(parse_rel_path("child::age").evaluate(persons))
+    used.extend(
+        parse_rel_path("child::age/descendant::text()").evaluate(persons))
+    return project(used, [])
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return {scale: generate_people(XMarkConfig(scale=scale))
+            for scale in SCALES}
+
+
+def test_fig10_series(documents):
+    rows = []
+    for scale, doc in documents.items():
+        compile_size = len(serialize_node(
+            compile_time_projection(doc).doc.root))
+        runtime_size = len(serialize_node(
+            runtime_projection(doc).doc.root))
+        rows.append([f"{scale}", f"{compile_size/1024:.1f}",
+                     f"{runtime_size/1024:.1f}",
+                     f"{compile_size/runtime_size:.1f}x"])
+    print_table("Figure 10: projected document size (KB)",
+                ["scale", "compile-time", "runtime", "precision"], rows)
+
+    for scale, doc in documents.items():
+        compile_size = len(serialize_node(
+            compile_time_projection(doc).doc.root))
+        runtime_size = len(serialize_node(
+            runtime_projection(doc).doc.root))
+        # The paper reports ~5x; require a clear multiple.
+        assert compile_size > 1.5 * runtime_size
+
+
+def test_fig10_projection_is_subset(documents):
+    doc = documents[SCALES[0]]
+    assert runtime_projection(doc).kept < \
+        compile_time_projection(doc).kept < len(doc)
+
+
+def test_fig10_timing(benchmark, documents):
+    doc = documents[SCALES[0]]
+    benchmark(lambda: runtime_projection(doc))

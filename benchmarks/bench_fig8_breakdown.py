@@ -1,0 +1,51 @@
+"""Figure 8 — Query time breakdown at the largest document size.
+
+Paper: five stacked components (shred / local exec / (de)serialize /
+remote exec / network) per strategy, log scale. Expected shape: shred
+dominates data-shipping (>99%) and by-value; fragment/projection cut
+total time by 84-94%; projection beats fragment by ~35%.
+"""
+
+from repro.decompose import Strategy
+from repro.workloads import build_federation, run_strategy
+
+from benchmarks.conftest import SCALES, STRATEGY_ORDER, print_table
+
+COMPONENTS = ("shred", "local exec", "(de)serialize", "remote exec",
+              "network")
+
+
+def test_fig8_breakdown(sweep):
+    runs = sweep[SCALES[-1]]
+    rows = []
+    for strategy in STRATEGY_ORDER:
+        times = runs[strategy].stats.times.as_dict()
+        row = [strategy.value]
+        row.extend(f"{times[c] * 1000:.2f}" for c in COMPONENTS)
+        row.append(f"{runs[strategy].stats.times.total * 1000:.2f}")
+        rows.append(row)
+    print_table(
+        f"Figure 8: time breakdown at largest size (ms, scale "
+        f"{SCALES[-1]})",
+        ["strategy"] + list(COMPONENTS) + ["total"], rows)
+
+    times = {s: runs[s].stats.times for s in STRATEGY_ORDER}
+    # Shred dominates data shipping.
+    shipping = times[Strategy.DATA_SHIPPING]
+    assert shipping.shred > 0.5 * shipping.total
+    # Fragment/projection pay no shredding and win big overall.
+    assert times[Strategy.BY_FRAGMENT].shred == 0
+    assert times[Strategy.BY_FRAGMENT].total < 0.6 * shipping.total
+    assert times[Strategy.BY_PROJECTION].total < \
+        times[Strategy.BY_FRAGMENT].total
+
+
+def test_fig8_remote_exec_only_under_function_shipping(sweep):
+    runs = sweep[SCALES[-1]]
+    assert runs[Strategy.DATA_SHIPPING].stats.times.remote_exec == 0
+    assert runs[Strategy.BY_FRAGMENT].stats.times.remote_exec > 0
+
+
+def test_fig8_timing(benchmark):
+    federation = build_federation(SCALES[0])
+    benchmark(lambda: run_strategy(federation, Strategy.BY_FRAGMENT))

@@ -1,0 +1,46 @@
+"""Figure 9 — Execution time over increasing document sizes.
+
+Paper: total time per strategy at every size, log scale. Expected
+shape: the two enhanced strategies beat data-shipping at every size
+("even on small documents the proposed techniques are preferred"), and
+projection beats fragment throughout.
+"""
+
+from repro.decompose import Strategy
+from repro.workloads import build_federation, run_strategy
+
+from benchmarks.conftest import SCALES, STRATEGY_ORDER, print_table
+
+
+def test_fig9_series(sweep):
+    rows = []
+    for scale, runs in sweep.items():
+        docs = runs[Strategy.DATA_SHIPPING].total_document_bytes
+        row = [f"{docs/1024:.0f} KB"]
+        row.extend(f"{runs[s].stats.times.total * 1000:.2f}"
+                   for s in STRATEGY_ORDER)
+        rows.append(row)
+    print_table("Figure 9: total execution time per query (ms)",
+                ["docs total"] + [s.value for s in STRATEGY_ORDER], rows)
+
+    for runs in sweep.values():
+        totals = {s: runs[s].stats.times.total for s in STRATEGY_ORDER}
+        assert totals[Strategy.BY_FRAGMENT] < \
+            totals[Strategy.DATA_SHIPPING]
+        assert totals[Strategy.BY_PROJECTION] < \
+            totals[Strategy.BY_FRAGMENT]
+
+
+def test_fig9_speedup_range(sweep):
+    """The paper reports 84-94% improvement at the largest size; our
+    simulated substrate should land in a comparable band (>50%)."""
+    runs = sweep[SCALES[-1]]
+    shipping = runs[Strategy.DATA_SHIPPING].stats.times.total
+    for strategy in (Strategy.BY_FRAGMENT, Strategy.BY_PROJECTION):
+        improvement = 1 - runs[strategy].stats.times.total / shipping
+        assert improvement > 0.5, f"{strategy.value}: {improvement:.0%}"
+
+
+def test_fig9_timing(benchmark):
+    federation = build_federation(SCALES[1])
+    benchmark(lambda: run_strategy(federation, Strategy.DATA_SHIPPING))

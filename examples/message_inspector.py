@@ -1,0 +1,63 @@
+"""Inspect the actual XRPC messages under the three semantics.
+
+Reproduces the paper's Figures 4 and 5 on the Table I query: the
+``earlier($bc, $abc)`` call whose parameters overlap, and the
+``makenodes()`` call whose result needs its parent. Prints the real
+SOAP request/response texts the simulated network carried.
+
+Run:  python examples/message_inspector.py
+"""
+
+from repro import Federation, Strategy, serialize_sequence
+
+EARLIER_QUERY = """
+declare function earlier($l as node(), $r as node()) as node()
+{ if ($l << $r) then $l else $r };
+let $abc := <a><b><c/></b></a>
+let $bc := $abc/child::b
+return execute at {"example.org"} { earlier($bc, $abc) }
+"""
+
+MAKENODES_QUERY = """
+declare function makenodes() as node()
+{ <a><b><c/></b></a>/child::b };
+let $bc := execute at {"example.org"} { makenodes() }
+return $bc/parent::a
+"""
+
+
+def show(title: str, federation: Federation, query: str,
+         strategy: Strategy) -> None:
+    result = federation.run(query, at="local", strategy=strategy,
+                            keep_message_xml=True)
+    print(f"\n=== {title} [{strategy.value}] ===")
+    print("result:", serialize_sequence(result.items) or "(empty)")
+    for log in result.messages:
+        print(f"\nrequest to {log.dest} ({log.request_bytes} bytes):")
+        print(" ", log.request_xml)
+        print(f"response ({log.response_bytes} bytes):")
+        print(" ", log.response_xml)
+
+
+def main() -> None:
+    federation = Federation()
+    federation.add_peer("example.org")
+    federation.add_peer("local")
+
+    # Figure 4: by-value repeats the overlapping parameters; by-fragment
+    # serialises the shared fragment once and references into it.
+    show("Figure 4 — earlier($bc, $abc)", federation, EARLIER_QUERY,
+         Strategy.BY_VALUE)
+    show("Figure 4 — earlier($bc, $abc)", federation, EARLIER_QUERY,
+         Strategy.BY_FRAGMENT)
+
+    # Figure 5: the projection-paths element makes the response carry
+    # parent::a, so $bc/parent::a works — by-value returns empty.
+    show("Figure 5 — makenodes()", federation, MAKENODES_QUERY,
+         Strategy.BY_VALUE)
+    show("Figure 5 — makenodes()", federation, MAKENODES_QUERY,
+         Strategy.BY_PROJECTION)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — Efficient Distribution of Full-Fledged XQuery (ICDE 2009).
+
+A from-scratch reproduction of Zhang, Tang & Boncz's XRPC query
+decomposition system: an XQuery engine over a pre/size/level XML store,
+the d-graph decomposition framework with the conservative (pass-by-
+value), pass-by-fragment and pass-by-projection strategies, runtime XML
+projection, and a simulated peer network with byte/time accounting.
+
+Quickstart::
+
+    from repro import Federation, Strategy
+
+    fed = Federation()
+    fed.add_peer("peer1").store("d.xml", "<people><p>Ann</p></people>")
+    fed.add_peer("local")
+    result = fed.run('doc("xrpc://peer1/d.xml")/child::people/child::p',
+                     at="local", strategy=Strategy.BY_FRAGMENT)
+    print(result.stats.summary())
+"""
+
+from repro.decompose import Strategy, decompose
+from repro.net.costmodel import CostModel
+from repro.net.stats import RunStats, TimeBreakdown
+from repro.system.federation import Federation, Peer, RunResult
+from repro.xmldb import Document, Node, parse_document, parse_fragment
+from repro.xquery import Evaluator, parse_query, pretty
+from repro.xquery.xdm import sequences_deep_equal, serialize_sequence
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Federation", "Peer", "RunResult",
+    "Strategy", "decompose",
+    "CostModel", "RunStats", "TimeBreakdown",
+    "Document", "Node", "parse_document", "parse_fragment",
+    "Evaluator", "parse_query", "pretty",
+    "sequences_deep_equal", "serialize_sequence",
+    "__version__",
+]

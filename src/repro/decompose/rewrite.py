@@ -1,0 +1,66 @@
+"""XRPCExpr insertion: realising Section III-B on the AST.
+
+The d-graph procedure inserts a ``vx:XRPCExpr`` above the chosen
+subgraph and redirects outgoing varref edges through ``XRPCParam``
+vertices. On the AST this is: wrap the target expression in an
+:class:`~repro.xquery.ast.XRPCExpr` whose parameters bind every free
+variable of the target (those are exactly the outgoing varref edges),
+with the body referencing the parameters by the same names.
+
+A plan may cover only a *prefix* of a path expression (a mid-chain
+AxisStep vertex); the path is then split: the prefix ships, the suffix
+steps stay local and consume the remote result.
+"""
+
+from __future__ import annotations
+
+from repro.decompose.points import InsertionPlan
+from repro.xquery.ast import (
+    Expr, FunctionDecl, Literal, Module, PathExpr, VarRef, XRPCExpr,
+    XRPCParam,
+)
+from repro.xquery.scopes import free_variables
+
+
+def insert_xrpc(module: Module, plans: list[InsertionPlan]) -> Module:
+    """Apply every insertion plan; targets are matched by object
+    identity, so plans must refer to expressions of this module."""
+    if not plans:
+        return module
+    by_target: dict[int, InsertionPlan] = {id(p.target): p for p in plans}
+
+    def rewrite(expr: Expr) -> Expr:
+        plan = by_target.get(id(expr))
+        if plan is not None:
+            return _apply_plan(plan, rewrite)
+        return expr.replace_children(rewrite)
+
+    functions = [
+        FunctionDecl(decl.name, decl.params, decl.return_type,
+                     rewrite(decl.body))
+        for decl in module.functions
+    ]
+    return Module(functions, rewrite(module.body))
+
+
+def _apply_plan(plan: InsertionPlan, rewrite) -> Expr:
+    target = plan.target
+    if plan.step_count is not None and isinstance(target, PathExpr) \
+            and plan.step_count < len(target.steps):
+        prefix = PathExpr(target.input, target.steps[:plan.step_count])
+        suffix_steps = target.steps[plan.step_count:]
+        shipped = _wrap(prefix, plan.host)
+        # Suffix predicates may still contain nested targets.
+        return PathExpr(shipped, suffix_steps).replace_children(rewrite)
+    # Children of the shipped body are rewritten first so nested plans
+    # (none are generated today, but the API allows them) still apply.
+    body = target.replace_children(rewrite)
+    return _wrap(body, plan.host)
+
+
+def _wrap(body: Expr, host: str) -> XRPCExpr:
+    """Step 1-3 of the insertion procedure: parameters are the free
+    variables of the shipped subgraph (its outgoing varref edges)."""
+    params = [XRPCParam(name, VarRef(name))
+              for name in sorted(free_variables(body))]
+    return XRPCExpr(Literal(host), params, body)

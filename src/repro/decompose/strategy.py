@@ -1,0 +1,77 @@
+"""The decomposition driver tying Sections III-VI together."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.decompose.code_motion import apply_code_motion
+from repro.decompose.conditions import valid_decomposition_points
+from repro.decompose.points import (
+    InsertionPlan, interesting_points, select_insertions,
+)
+from repro.decompose.rewrite import insert_xrpc
+from repro.dgraph.graph import DGraph, build_dgraph
+from repro.xquery.ast import Module
+from repro.xquery.normalize import normalize
+
+
+class Strategy(enum.Enum):
+    """The four execution strategies of the paper's evaluation."""
+
+    DATA_SHIPPING = "data-shipping"
+    BY_VALUE = "by-value"
+    BY_FRAGMENT = "by-fragment"
+    BY_PROJECTION = "by-projection"
+
+    @property
+    def decomposes(self) -> bool:
+        return self is not Strategy.DATA_SHIPPING
+
+    @property
+    def uses_fragments(self) -> bool:
+        return self in (Strategy.BY_FRAGMENT, Strategy.BY_PROJECTION)
+
+    @property
+    def uses_projection(self) -> bool:
+        return self is Strategy.BY_PROJECTION
+
+
+@dataclass
+class DecompositionResult:
+    """Everything the pipeline produced, for inspection and tests."""
+
+    strategy: Strategy
+    module: Module                      # the rewritten module
+    normalized: Module                  # after let-sinking
+    graph: DGraph                       # d-graph of the normalised query
+    dpoints: set[int] = field(default_factory=set)       # I(G)
+    ipoints: list[int] = field(default_factory=list)     # I'(G)
+    plans: list[InsertionPlan] = field(default_factory=list)
+
+
+def decompose(module: Module, strategy: Strategy,
+              local_host: str | None = None,
+              code_motion: bool = True,
+              let_sinking: bool = True) -> DecompositionResult:
+    """Run the full decomposition pipeline for one strategy.
+
+    ``local_host`` is the originator peer's name: interesting points
+    whose documents live there are pointless to ship. The
+    ``code_motion`` / ``let_sinking`` switches exist for the ablation
+    benchmarks; both default to the paper's configuration.
+    """
+    normalized = normalize(module) if let_sinking else module
+    if not strategy.decomposes:
+        return DecompositionResult(strategy, normalized, normalized,
+                                   build_dgraph(normalized))
+
+    graph = build_dgraph(normalized)
+    dpoints = valid_decomposition_points(graph, strategy.value)
+    ipoints = interesting_points(graph, dpoints)
+    plans = select_insertions(graph, ipoints, local_host)
+    rewritten = insert_xrpc(normalized, plans)
+    if strategy.uses_fragments and code_motion:
+        rewritten = apply_code_motion(rewritten)
+    return DecompositionResult(strategy, rewritten, normalized, graph,
+                               dpoints, ipoints, plans)

@@ -1,0 +1,24 @@
+"""The XCore dependency graph (d-graph) of Section III.
+
+A d-graph is "in essence a parse-tree with additional (dashed) edges to
+indicate variable usages": vertices labelled with grammar rules,
+*parse edges* from each rule use to the rules it directly causes, and
+*varref edges* from each :class:`~repro.xquery.ast.VarRef` to the
+``Var`` vertex that binds it.
+
+The graph drives every analysis of Sections IV-VI: reachability
+("parse-depends" / "varref-depends" / "depends"), URI dependency sets
+``D(v)``, the insertion conditions, and interesting decomposition
+points ``I'(G)``.
+"""
+
+from repro.dgraph.graph import DGraph, Vertex, build_dgraph
+from repro.dgraph.analysis import (
+    DocDep, uri_dependencies, has_duplicate_doc, matching_doc_conflict,
+)
+
+__all__ = [
+    "DGraph", "Vertex", "build_dgraph",
+    "DocDep", "uri_dependencies", "has_duplicate_doc",
+    "matching_doc_conflict",
+]

@@ -1,0 +1,74 @@
+"""Run statistics: the measurements behind Figures 7-9.
+
+:class:`RunStats` accumulates bytes and simulated time per category
+during one federated query execution. ``total_transferred_bytes`` is
+Figure 7's y-axis ("total size of XML documents plus total size of XML
+messages transferred among peers"); :class:`TimeBreakdown` is the
+five-component stack of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TimeBreakdown:
+    """Simulated seconds per category (Figure 8's stack)."""
+
+    shred: float = 0.0
+    local_exec: float = 0.0
+    serialize: float = 0.0   # "(de)serialize" in the paper
+    remote_exec: float = 0.0
+    network: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.shred + self.local_exec + self.serialize
+                + self.remote_exec + self.network)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "shred": self.shred,
+            "local exec": self.local_exec,
+            "(de)serialize": self.serialize,
+            "remote exec": self.remote_exec,
+            "network": self.network,
+        }
+
+
+@dataclass
+class RunStats:
+    """Byte and message accounting for one query execution."""
+
+    document_bytes: int = 0      # full documents shipped (data shipping)
+    message_bytes: int = 0       # SOAP request + response messages
+    messages: int = 0            # network interactions (message count)
+    rpc_calls: int = 0           # function applications (bulk counts >1)
+    documents_shipped: int = 0
+    times: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    @property
+    def total_transferred_bytes(self) -> int:
+        """Figure 7's metric: documents + messages over the wire."""
+        return self.document_bytes + self.message_bytes
+
+    def record_document_shipped(self, size: int) -> None:
+        self.document_bytes += size
+        self.documents_shipped += 1
+
+    def record_message(self, size: int) -> None:
+        self.message_bytes += size
+        self.messages += 1
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "total_transferred_bytes": self.total_transferred_bytes,
+            "document_bytes": self.document_bytes,
+            "message_bytes": self.message_bytes,
+            "messages": self.messages,
+            "rpc_calls": self.rpc_calls,
+            "documents_shipped": self.documents_shipped,
+            "total_time_s": self.times.total,
+            "times": self.times.as_dict(),
+        }

@@ -1,0 +1,114 @@
+"""Relative projection paths: the Table V grammar, minus the doc()
+prefix (relative paths start at a runtime context sequence, per the
+``allSuffixes`` construction of Section VI-B).
+
+A :class:`RelPath` is a sequence of :class:`RelStep`; a step is either
+a plain axis step (any of the 13 axes — the paper's extension beyond
+[18]) or one of the pseudo-steps ``root()`` / ``id()`` / ``idref()``.
+Paths serialise to compact strings for the message's
+``projection-paths`` element and parse back on the remote side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XrpcMarshalError
+from repro.xmldb import axes as axes_mod
+from repro.xmldb.compare import sort_document_order
+from repro.xmldb.node import Node
+
+#: Pseudo-steps for the built-ins of Problem 5 Classes 3-4.
+PSEUDO_STEPS = ("root()", "id()", "idref()")
+
+
+@dataclass(frozen=True)
+class RelStep:
+    """One step: ``axis::test`` or a pseudo-step (axis == the marker)."""
+
+    axis: str
+    test: str = "node()"
+
+    def __str__(self) -> str:
+        if self.axis in PSEUDO_STEPS:
+            return self.axis
+        return f"{self.axis}::{self.test}"
+
+
+@dataclass(frozen=True)
+class RelPath:
+    """A relative projection path (possibly empty = ``self``)."""
+
+    steps: tuple[RelStep, ...] = ()
+
+    def extend(self, step: RelStep) -> "RelPath":
+        return RelPath(self.steps + (step,))
+
+    def __str__(self) -> str:
+        if not self.steps:
+            return "self::node()"
+        return "/".join(str(step) for step in self.steps)
+
+    def evaluate(self, context: list[Node]) -> list[Node]:
+        """Apply the path to a context sequence using the engine's
+        normal axis machinery ("our runtime approach for projection
+        simply relies on the normal XPATH evaluation capabilities")."""
+        current = [n for n in context if isinstance(n, Node)]
+        for step in self.steps:
+            gathered: list[Node] = []
+            if step.axis == "root()":
+                gathered = [node.root() for node in current]
+            elif step.axis == "id()":
+                for node in current:
+                    gathered.extend(_all_id_elements(node))
+            elif step.axis == "idref()":
+                for node in current:
+                    gathered.extend(_all_idref_elements(node))
+            else:
+                for node in current:
+                    gathered.extend(
+                        axes_mod.axis_step(node, step.axis, step.test))
+            current = sort_document_order(gathered)
+        return current
+
+
+def _all_id_elements(node: Node) -> list[Node]:
+    """The loading-algorithm consequence the paper states: without
+    knowing the ID values (they are strings, not nodes), conserve all
+    elements carrying an ID attribute."""
+    doc = node.doc
+    if doc._id_index is None:  # noqa: SLF001 - intentional internal use
+        doc._build_id_indexes()
+    assert doc._id_index is not None
+    return [Node(doc, pre) for pre in doc._id_index.values()]
+
+
+def _all_idref_elements(node: Node) -> list[Node]:
+    doc = node.doc
+    if doc._idref_index is None:  # noqa: SLF001
+        doc._build_id_indexes()
+    assert doc._idref_index is not None
+    out: list[Node] = []
+    for pres in doc._idref_index.values():
+        out.extend(Node(doc, pre) for pre in pres)
+    return out
+
+
+def parse_rel_path(text: str) -> RelPath:
+    """Parse the compact string form back into a :class:`RelPath`."""
+    text = text.strip()
+    if not text or text == "self::node()":
+        return RelPath()
+    steps: list[RelStep] = []
+    for part in text.split("/"):
+        part = part.strip()
+        if part in PSEUDO_STEPS:
+            steps.append(RelStep(part))
+            continue
+        if "::" not in part:
+            raise XrpcMarshalError(f"malformed projection path step {part!r}")
+        axis, test = part.split("::", 1)
+        if axis not in axes_mod.AXES:
+            raise XrpcMarshalError(f"unknown axis {axis!r} in path {text!r}")
+        steps.append(RelStep(axis, test))
+    return RelPath(tuple(steps))

@@ -1,0 +1,329 @@
+"""Federated query execution over simulated peers.
+
+:class:`Federation` owns the peers and the cost model; :meth:`run`
+executes one query at an originating peer under a chosen strategy and
+returns the result sequence together with the decomposition artifacts
+and a full :class:`~repro.net.stats.RunStats` accounting — everything
+the benchmark harness needs to regenerate Figures 7-9.
+
+Transport realism: requests and responses are serialised to actual
+SOAP-style XML text and re-parsed on the other side; document shipping
+serialises the document at the owner and shreds it at the requester.
+All byte counts are lengths of those texts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decompose import DecompositionResult, Strategy, decompose
+from repro.errors import NetworkError, XQueryDynamicError
+from repro.net.costmodel import CostModel
+from repro.net.stats import RunStats
+from repro.paths.analysis import PathSets, ProjectionSpec, analyze_module
+from repro.xmldb.document import Document
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+from repro.xquery.ast import Expr, Module, XRPCExpr, walk
+from repro.xquery.context import CostCounter, DynamicContext, StaticContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_query
+from repro.xquery.pretty import pretty
+from repro.xrpc.marshal import marshal_calls, unmarshal_result
+from repro.xrpc.messages import RequestMessage, ResponseMessage
+from repro.xrpc.peer import RequestHandler
+
+XRPC_SCHEME = "xrpc://"
+
+
+class Peer:
+    """One peer: a named document space."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.documents: dict[str, Document] = {}
+        self._serialized: dict[str, str] = {}
+
+    def store(self, local_name: str, content: str | Document) -> "Peer":
+        """Register a document under a local name (chainable)."""
+        if isinstance(content, Document):
+            document = content
+        else:
+            document = parse_document(
+                content, uri=f"{XRPC_SCHEME}{self.name}/{local_name}")
+        self.documents[local_name] = document
+        self._serialized.pop(local_name, None)
+        return self
+
+    def document(self, local_name: str) -> Document:
+        try:
+            return self.documents[local_name]
+        except KeyError:
+            raise NetworkError(
+                f"peer {self.name!r} has no document {local_name!r}"
+            ) from None
+
+    def serialized(self, local_name: str) -> str:
+        cached = self._serialized.get(local_name)
+        if cached is None:
+            cached = serialize(self.document(local_name))
+            self._serialized[local_name] = cached
+        return cached
+
+
+@dataclass
+class MessageLog:
+    """One request/response exchange, for tests and examples."""
+
+    dest: str
+    calls: int
+    request_bytes: int
+    response_bytes: int
+    request_xml: str = field(repr=False, default="")
+    response_xml: str = field(repr=False, default="")
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one federated execution."""
+
+    items: list
+    stats: RunStats
+    decomposition: DecompositionResult
+    messages: list[MessageLog] = field(default_factory=list)
+
+    @property
+    def module(self) -> Module:
+        return self.decomposition.module
+
+
+class Federation:
+    """A set of peers plus the simulated network between them."""
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 static: StaticContext | None = None):
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.static = static if static is not None else StaticContext()
+        self.peers: dict[str, Peer] = {}
+
+    def add_peer(self, name: str) -> Peer:
+        if name in self.peers:
+            raise NetworkError(f"peer {name!r} already exists")
+        peer = Peer(name)
+        self.peers[name] = peer
+        return peer
+
+    def peer(self, name: str) -> Peer:
+        try:
+            return self.peers[name]
+        except KeyError:
+            raise NetworkError(f"unknown peer {name!r}") from None
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, query: str, at: str,
+            strategy: Strategy = Strategy.BY_PROJECTION,
+            bulk_rpc: bool = True, code_motion: bool = True,
+            let_sinking: bool = True,
+            keep_message_xml: bool = False) -> RunResult:
+        """Parse, decompose and execute ``query`` at peer ``at``."""
+        module = parse_query(query)
+        decomposition = decompose(module, strategy, local_host=at,
+                                  code_motion=code_motion,
+                                  let_sinking=let_sinking)
+        return self.execute(decomposition, at, bulk_rpc=bulk_rpc,
+                            keep_message_xml=keep_message_xml)
+
+    def execute(self, decomposition: DecompositionResult, at: str,
+                bulk_rpc: bool = True,
+                keep_message_xml: bool = False) -> RunResult:
+        """Execute an already-decomposed query at peer ``at``."""
+        run = _Run(self, decomposition, at, bulk_rpc, keep_message_xml)
+        return run.execute()
+
+
+class _Run:
+    """State for one federated execution."""
+
+    def __init__(self, federation: Federation,
+                 decomposition: DecompositionResult, origin: str,
+                 bulk_rpc: bool, keep_message_xml: bool):
+        self.federation = federation
+        self.decomposition = decomposition
+        self.origin = origin
+        self.bulk_rpc = bulk_rpc
+        self.keep_message_xml = keep_message_xml
+        self.stats = RunStats()
+        self.messages: list[MessageLog] = []
+        self.local_counter = CostCounter()
+        self.remote_counter = CostCounter()
+        self._shipped_docs: dict[tuple[str, str], Document] = {}
+        self.semantics = self._semantics(decomposition.strategy)
+        self.projection_specs = self._projection_specs()
+
+    @staticmethod
+    def _semantics(strategy: Strategy) -> str:
+        if strategy is Strategy.BY_PROJECTION:
+            return "by-projection"
+        if strategy is Strategy.BY_FRAGMENT:
+            return "by-fragment"
+        return "by-value"
+
+    def _projection_specs(self) -> dict[int, ProjectionSpec]:
+        """Specs keyed by id(xrpc.body), the handle the transport has."""
+        if self.decomposition.strategy is not Strategy.BY_PROJECTION:
+            return {}
+        module = self.decomposition.module
+        by_xrpc = analyze_module(module)
+        out: dict[int, ProjectionSpec] = {}
+        for decl_body in [f.body for f in module.functions] + [module.body]:
+            for node in walk(decl_body):
+                if isinstance(node, XRPCExpr):
+                    spec = by_xrpc.get(id(node))
+                    if spec is not None:
+                        out[id(node.body)] = spec
+        return out
+
+    # -- document resolution (data shipping) -----------------------------------
+
+    def _resolver(self, peer_name: str):
+        def resolve(uri: str) -> Document:
+            owner, local_name = self._locate(uri, peer_name)
+            if owner == peer_name:
+                return self.federation.peer(owner).document(local_name)
+            return self._ship_document(owner, local_name, peer_name)
+        return resolve
+
+    def _locate(self, uri: str, requester: str) -> tuple[str, str]:
+        if uri.startswith(XRPC_SCHEME):
+            rest = uri[len(XRPC_SCHEME):]
+            if "/" not in rest:
+                raise XQueryDynamicError(f"malformed xrpc URI {uri!r}")
+            owner, local_name = rest.split("/", 1)
+            return owner, local_name
+        return requester, uri
+
+    def _ship_document(self, owner: str, local_name: str,
+                       requester: str) -> Document:
+        """Data shipping: fetch, transfer, and shred a whole document."""
+        key = (requester, f"{owner}/{local_name}")
+        cached = self._shipped_docs.get(key)
+        if cached is not None:
+            return cached
+        text = self.federation.peer(owner).serialized(local_name)
+        size = len(text.encode())
+        model = self.federation.cost_model
+        self.stats.record_document_shipped(size)
+        self.stats.times.serialize += model.serialize_time(size)
+        self.stats.times.network += model.network_time(size)
+        self.stats.times.shred += model.shred_time(size)
+        document = parse_document(
+            text, uri=f"{XRPC_SCHEME}{owner}/{local_name}")
+        self._shipped_docs[key] = document
+        return document
+
+    # -- XRPC transport ---------------------------------------------------------
+
+    def _make_xrpc_execute(self, from_peer: str):
+        def execute(dest: str, params: list[tuple[str, list]],
+                    body: Expr) -> list:
+            results = self._round_trip(from_peer, dest, [params], body)
+            return results[0]
+        return execute
+
+    def _make_xrpc_execute_bulk(self, from_peer: str):
+        if not self.bulk_rpc:
+            return None
+
+        def execute_bulk(dest: str, calls: list[list[tuple[str, list]]],
+                         body: Expr) -> list[list]:
+            if not calls:
+                return []
+            return self._round_trip(from_peer, dest, calls, body)
+        return execute_bulk
+
+    def _round_trip(self, from_peer: str, dest: str,
+                    calls: list[list[tuple[str, list]]],
+                    body: Expr) -> list[list]:
+        """One network interaction: marshal, ship, execute, ship back."""
+        dest_name = dest[len(XRPC_SCHEME):].split("/", 1)[0] \
+            if dest.startswith(XRPC_SCHEME) else dest
+        peer = self.federation.peer(dest_name)  # raises on unknown peer
+        model = self.federation.cost_model
+
+        spec = self.projection_specs.get(id(body))
+        param_paths: dict[str, PathSets] | None = None
+        used_paths = returned_paths = None
+        if self.semantics == "by-projection" and spec is not None:
+            param_paths = spec.param_paths
+            used_paths = sorted(str(p) for p in spec.result_paths.used)
+            returned_paths = sorted(
+                str(p) for p in spec.result_paths.returned)
+
+        bundle = marshal_calls(calls, self.semantics, param_paths)
+        param_names = [name for name, _seq in calls[0]] if calls else []
+        request = RequestMessage(
+            query=pretty(body),
+            param_names=param_names,
+            calls=bundle.calls,
+            fragments=bundle.fragments,
+            static_attrs=self.federation.static.to_attributes(),
+            used_paths=used_paths,
+            returned_paths=returned_paths,
+        )
+        request_xml = request.to_xml()
+        request_bytes = len(request_xml.encode())
+        self.stats.record_message(request_bytes)
+        self.stats.rpc_calls += len(calls)
+        self.stats.times.serialize += model.serialize_time(request_bytes)
+        self.stats.times.network += model.network_time(request_bytes)
+        self.stats.times.serialize += model.deserialize_time(request_bytes)
+
+        handler = RequestHandler(
+            peer_name=peer.name,
+            resolve_doc=self._resolver(peer.name),
+            xrpc_execute=self._make_xrpc_execute(peer.name),
+            semantics=self.semantics,
+            counter=self.remote_counter,
+        )
+        response = handler.handle(RequestMessage.from_xml(request_xml))
+
+        response_xml = response.to_xml()
+        response_bytes = len(response_xml.encode())
+        self.stats.record_message(response_bytes)
+        self.stats.times.serialize += model.serialize_time(response_bytes)
+        self.stats.times.network += model.network_time(response_bytes)
+        self.stats.times.serialize += model.deserialize_time(response_bytes)
+
+        self.messages.append(MessageLog(
+            dest=peer.name, calls=len(calls),
+            request_bytes=request_bytes, response_bytes=response_bytes,
+            request_xml=request_xml if self.keep_message_xml else "",
+            response_xml=response_xml if self.keep_message_xml else "",
+        ))
+
+        parsed = ResponseMessage.from_xml(response_xml)
+        return unmarshal_result(parsed.results, parsed.fragments,
+                                base_uri=f"{XRPC_SCHEME}{peer.name}/response")
+
+    # -- top-level execution --------------------------------------------------------
+
+    def execute(self) -> RunResult:
+        module = self.decomposition.module
+        evaluator = Evaluator(module, self.federation.static)
+        env = DynamicContext(
+            resolve_doc=self._resolver(self.origin),
+            xrpc_execute=self._make_xrpc_execute(self.origin),
+            xrpc_execute_bulk=self._make_xrpc_execute_bulk(self.origin),
+            counter=self.local_counter,
+        )
+        items = evaluator.run(env)
+
+        model = self.federation.cost_model
+        self.stats.times.local_exec = model.exec_time(
+            self.local_counter.ticks, self.local_counter.nodes_visited)
+        self.stats.times.remote_exec = model.exec_time(
+            self.remote_counter.ticks, self.remote_counter.nodes_visited)
+        return RunResult(items=items, stats=self.stats,
+                         decomposition=self.decomposition,
+                         messages=self.messages)

@@ -1,0 +1,99 @@
+"""The Section VII benchmark workload, shared by benchmarks, examples
+and integration tests.
+
+``BENCHMARK_QUERY`` is the paper's XMark adaptation of Qn2 (with the
+``$c/child::seller`` typo corrected to ``$e/...``): find authors of
+annotations of auctions sold by persons younger than 40, where the
+people and auctions documents live on two different peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompose import Strategy
+from repro.net.costmodel import CostModel
+from repro.net.stats import RunStats
+from repro.system.federation import Federation, RunResult
+from repro.xmark import generate_pair
+
+#: The benchmark query of Section VII (paper Qn2, XMark-ised).
+BENCHMARK_QUERY = """
+(let $t := (let $s := doc("xrpc://peer1/people.xml")
+                      /child::site/child::people/child::person
+            return for $x in $s
+                   return if ($x/descendant::age < 40) then $x else ())
+ return for $e in (let $c := doc("xrpc://peer2/auctions.xml")
+                   return $c/descendant::open_auction)
+        return if ($e/child::seller/attribute::person = $t/attribute::id)
+               then $e/child::annotation else ())/child::author
+"""
+
+#: The per-figure scale sweep. The paper uses XMark factors 0.1-1.6
+#: (10-160 MB per document); we keep the same x2 geometric spacing at
+#: laptop scale.
+DEFAULT_SCALES = (0.005, 0.01, 0.02, 0.04, 0.08)
+
+
+@dataclass
+class WorkloadRun:
+    """One strategy's execution over one document pair."""
+
+    strategy: Strategy
+    scale: float
+    total_document_bytes: int  # combined size of the two source docs
+    result: RunResult
+
+    @property
+    def stats(self) -> RunStats:
+        return self.result.stats
+
+
+def build_federation(scale: float, seed: int = 20090329,
+                     cost_model: CostModel | None = None) -> Federation:
+    """Three peers as in the paper's testbed: two data peers plus the
+    query originator."""
+    people, auctions = generate_pair(
+        scale, seed,
+        people_uri="xrpc://peer1/people.xml",
+        auctions_uri="xrpc://peer2/auctions.xml")
+    federation = Federation(cost_model=cost_model)
+    federation.add_peer("peer1").store("people.xml", people)
+    federation.add_peer("peer2").store("auctions.xml", auctions)
+    federation.add_peer("local")
+    return federation
+
+
+def document_bytes(federation: Federation) -> int:
+    """Total serialised size of the two benchmark documents."""
+    peer1 = federation.peer("peer1")
+    peer2 = federation.peer("peer2")
+    return (len(peer1.serialized("people.xml").encode())
+            + len(peer2.serialized("auctions.xml").encode()))
+
+
+def run_strategy(federation: Federation, strategy: Strategy,
+                 scale: float = 0.0, query: str = BENCHMARK_QUERY,
+                 **kwargs) -> WorkloadRun:
+    """Execute the benchmark query under one strategy."""
+    result = federation.run(query, at="local", strategy=strategy, **kwargs)
+    return WorkloadRun(strategy=strategy, scale=scale,
+                       total_document_bytes=document_bytes(federation),
+                       result=result)
+
+
+def run_all_strategies(scale: float, seed: int = 20090329,
+                       query: str = BENCHMARK_QUERY,
+                       cost_model: CostModel | None = None,
+                       **kwargs) -> dict[Strategy, WorkloadRun]:
+    """Run all four strategies on one freshly generated document pair.
+
+    One federation is shared (the documents are identical), so results
+    are directly comparable; correctness across strategies is asserted
+    by the integration tests via deep-equal.
+    """
+    federation = build_federation(scale, seed, cost_model)
+    return {
+        strategy: run_strategy(federation, strategy, scale, query, **kwargs)
+        for strategy in Strategy
+    }

@@ -1,0 +1,209 @@
+"""The 13 XPath axes over the pre/size/level store.
+
+Each axis function takes one context :class:`Node` and yields result
+nodes in the order the axis defines (forward axes in document order,
+reverse axes in reverse document order — the evaluator re-sorts the
+final step result into document order as XQuery requires).
+
+Attribute nodes are stored inside their owner's pre/size interval but
+are *not* descendants in the XPath data model, so every axis that walks
+subtrees filters them out; only ``attribute`` (and ``self``) can yield
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.xmldb.node import Node, NodeKind
+
+AxisFunction = Callable[[Node], Iterator[Node]]
+
+
+def child(node: Node) -> Iterator[Node]:
+    doc = node.doc
+    if node.kind == NodeKind.ATTRIBUTE:
+        return
+    end = node.pre + node.size
+    cursor = node.pre + 1
+    while cursor <= end:
+        if doc.kinds[cursor] != NodeKind.ATTRIBUTE:
+            yield Node(doc, cursor)
+        cursor += doc.sizes[cursor] + 1
+
+
+def attribute(node: Node) -> Iterator[Node]:
+    doc = node.doc
+    if node.kind != NodeKind.ELEMENT:
+        return
+    end = node.pre + node.size
+    cursor = node.pre + 1
+    while cursor <= end:
+        if doc.kinds[cursor] != NodeKind.ATTRIBUTE:
+            return  # attributes precede all other children
+        yield Node(doc, cursor)
+        cursor += 1
+
+
+def descendant(node: Node) -> Iterator[Node]:
+    doc = node.doc
+    if node.kind == NodeKind.ATTRIBUTE:
+        return
+    for pre in range(node.pre + 1, node.pre + node.size + 1):
+        if doc.kinds[pre] != NodeKind.ATTRIBUTE:
+            yield Node(doc, pre)
+
+
+def descendant_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from descendant(node)
+
+
+def self(node: Node) -> Iterator[Node]:
+    yield node
+
+
+def parent(node: Node) -> Iterator[Node]:
+    p = node.parent()
+    if p is not None:
+        yield p
+
+
+def ancestor(node: Node) -> Iterator[Node]:
+    p = node.parent()
+    while p is not None:
+        yield p
+        p = p.parent()
+
+
+def ancestor_or_self(node: Node) -> Iterator[Node]:
+    yield node
+    yield from ancestor(node)
+
+
+def following_sibling(node: Node) -> Iterator[Node]:
+    doc = node.doc
+    if node.kind == NodeKind.ATTRIBUTE:
+        return
+    parent_pre = doc.parents[node.pre]
+    if parent_pre < 0:
+        return
+    end = parent_pre + doc.sizes[parent_pre]
+    cursor = node.pre + node.size + 1
+    while cursor <= end:
+        if doc.kinds[cursor] != NodeKind.ATTRIBUTE:
+            yield Node(doc, cursor)
+        cursor += doc.sizes[cursor] + 1
+
+
+def preceding_sibling(node: Node) -> Iterator[Node]:
+    """Preceding siblings in reverse document order."""
+    doc = node.doc
+    if node.kind == NodeKind.ATTRIBUTE:
+        return
+    parent_pre = doc.parents[node.pre]
+    if parent_pre < 0:
+        return
+    siblings = []
+    cursor = parent_pre + 1
+    while cursor < node.pre:
+        if doc.kinds[cursor] != NodeKind.ATTRIBUTE:
+            siblings.append(cursor)
+        cursor += doc.sizes[cursor] + 1
+    for pre in reversed(siblings):
+        yield Node(doc, pre)
+
+
+def following(node: Node) -> Iterator[Node]:
+    """Nodes after the subtree of ``node``, excluding ancestors."""
+    doc = node.doc
+    start = node.pre + node.size + 1
+    if node.kind == NodeKind.ATTRIBUTE:
+        # Per XPath, following of an attribute = following of its owner
+        # plus the owner's descendants after the attribute; we use the
+        # common simplification: everything after the owner's attributes.
+        owner = doc.parents[node.pre]
+        start = node.pre + 1
+        while start < len(doc.kinds) and doc.kinds[start] == NodeKind.ATTRIBUTE \
+                and doc.parents[start] == owner:
+            start += 1
+    for pre in range(start, len(doc.kinds)):
+        if doc.kinds[pre] != NodeKind.ATTRIBUTE:
+            yield Node(doc, pre)
+
+
+def preceding(node: Node) -> Iterator[Node]:
+    """Nodes wholly before ``node``, excluding ancestors, reverse order."""
+    doc = node.doc
+    ancestors = {a.pre for a in ancestor(node)}
+    result = []
+    for pre in range(node.pre):
+        if doc.kinds[pre] == NodeKind.ATTRIBUTE:
+            continue
+        if pre in ancestors:
+            continue
+        result.append(pre)
+    for pre in reversed(result):
+        yield Node(doc, pre)
+
+
+AXES: dict[str, AxisFunction] = {
+    "child": child,
+    "attribute": attribute,
+    "descendant": descendant,
+    "descendant-or-self": descendant_or_self,
+    "self": self,
+    "parent": parent,
+    "ancestor": ancestor,
+    "ancestor-or-self": ancestor_or_self,
+    "following-sibling": following_sibling,
+    "preceding-sibling": preceding_sibling,
+    "following": following,
+    "preceding": preceding,
+}
+
+#: Axes that navigate upwards (paper Condition i forbids these on
+#: shipped nodes under pass-by-value and pass-by-fragment).
+REVERSE_AXES = frozenset({"parent", "ancestor", "ancestor-or-self"})
+
+#: Axes that navigate sideways (likewise forbidden by Condition i).
+HORIZONTAL_AXES = frozenset({
+    "preceding", "preceding-sibling", "following", "following-sibling",
+})
+
+#: Axes guaranteed to produce non-overlapping results from a
+#: duplicate-free input sequence (paper Condition iii whitelist).
+NON_OVERLAPPING_AXES = frozenset({
+    "parent", "preceding-sibling", "following-sibling", "self", "child",
+    "attribute",
+})
+
+
+def matches_node_test(node: Node, test: str) -> bool:
+    """Apply a node test: ``node()``, ``text()``, a QName, or ``*``.
+
+    ``*`` matches any element on non-attribute axes; the axis layer
+    cannot know the axis here, so ``*`` matches elements and
+    attributes — callers on the attribute axis only ever see
+    attributes, and all other axes never yield attributes, so the
+    combined behaviour is correct.
+    """
+    if test == "node()":
+        return True
+    kind = node.kind
+    if test == "text()":
+        return kind == NodeKind.TEXT
+    if test == "comment()":
+        return kind == NodeKind.COMMENT
+    if kind not in (NodeKind.ELEMENT, NodeKind.ATTRIBUTE):
+        return False
+    if test == "*":
+        return True
+    return node.name == test
+
+
+def axis_step(node: Node, axis: str, test: str) -> Iterator[Node]:
+    """One axis step from one context node, node-test applied."""
+    for candidate in AXES[axis](node):
+        if matches_node_test(candidate, test):
+            yield candidate

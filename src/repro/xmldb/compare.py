@@ -1,0 +1,93 @@
+"""Node identity, document order and XQuery fn:deep-equal.
+
+``deep_equal`` is the paper's notion of query equivalence: two
+decompositions of a query are equivalent when their results are
+deep-equal for every database. All correctness tests in this repo
+compare local against distributed execution with this function.
+"""
+
+from __future__ import annotations
+
+from repro.xmldb.node import Node, NodeKind
+
+
+def is_same_node(left: Node, right: Node) -> bool:
+    """XQuery ``is``: identity, not structural equality."""
+    return left.doc is right.doc and left.pre == right.pre
+
+
+def document_order_key(node: Node) -> tuple[int, int]:
+    """Sort key establishing a stable total document order."""
+    return node.order_key()
+
+
+def node_before(left: Node, right: Node) -> bool:
+    """XQuery ``<<``."""
+    return document_order_key(left) < document_order_key(right)
+
+
+def node_after(left: Node, right: Node) -> bool:
+    """XQuery ``>>``."""
+    return document_order_key(left) > document_order_key(right)
+
+
+def sort_document_order(nodes: list[Node]) -> list[Node]:
+    """Sort into document order and remove duplicates (by identity).
+
+    This is the mandatory post-processing of every XPath step result.
+    """
+    seen: set[tuple[int, int]] = set()
+    out: list[Node] = []
+    for node in sorted(nodes, key=document_order_key):
+        key = (id(node.doc), node.pre)
+        if key not in seen:
+            seen.add(key)
+            out.append(node)
+    return out
+
+
+def deep_equal(left: Node, right: Node) -> bool:
+    """Structural equality per XQuery fn:deep-equal (nodes only).
+
+    Comments and processing instructions are ignored inside element
+    content, per the spec. Attribute order is irrelevant.
+    """
+    lk, rk = left.kind, right.kind
+    if lk != rk:
+        return False
+    if lk == NodeKind.TEXT or lk == NodeKind.COMMENT:
+        return left.value == right.value
+    if lk == NodeKind.ATTRIBUTE:
+        return left.name == right.name and left.value == right.value
+    if lk == NodeKind.PROCESSING_INSTRUCTION:
+        return left.name == right.name and left.value == right.value
+    if lk == NodeKind.ELEMENT and rk == NodeKind.ELEMENT:
+        if left.name != right.name:
+            return False
+        left_attrs = {a.name: a.value for a in _attributes(left)}
+        right_attrs = {a.name: a.value for a in _attributes(right)}
+        if left_attrs != right_attrs:
+            return False
+    return _content_equal(left, right)
+
+
+def _attributes(node: Node):
+    from repro.xmldb import axes
+
+    return axes.attribute(node)
+
+
+def _comparable_children(node: Node) -> list[Node]:
+    from repro.xmldb import axes
+
+    return [c for c in axes.child(node)
+            if c.kind in (NodeKind.ELEMENT, NodeKind.TEXT)]
+
+
+def _content_equal(left: Node, right: Node) -> bool:
+    left_children = _comparable_children(left)
+    right_children = _comparable_children(right)
+    if len(left_children) != len(right_children):
+        return False
+    return all(deep_equal(lc, rc)
+               for lc, rc in zip(left_children, right_children))

@@ -1,0 +1,276 @@
+"""The pre/size/level document store and its builder.
+
+A :class:`Document` holds one XML tree shredded into parallel arrays in
+document order (preorder). The encoding is the one used by
+MonetDB/XQuery's Pathfinder compiler — the paper's host system — and
+gives O(1) node identity, document-order comparison, and ancestry
+tests, plus O(subtree) axis scans.
+
+Attributes are stored as nodes immediately after their owner element
+(before its first child) and are counted in the owner's ``size``; axis
+implementations filter them out where XPath requires (child,
+descendant, following, ...).
+
+Documents are logically immutable once built. *Fragment* documents —
+parentless trees produced by element construction or by shredding XRPC
+message payloads — are ordinary documents whose ``pre == 0`` node is an
+element rather than a document node.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from repro.errors import XmlError
+from repro.xmldb.node import Node, NodeKind
+
+_doc_sequence = itertools.count()
+
+
+class Document:
+    """One shredded XML tree (document or parentless fragment).
+
+    Use :class:`DocumentBuilder` (or the parser / generator modules) to
+    construct instances; the raw constructor trusts its arrays.
+    """
+
+    __slots__ = ("uri", "kinds", "names", "values", "sizes", "levels",
+                 "parents", "doc_seq", "_id_index", "_idref_index")
+
+    def __init__(self, uri: str, kinds: list[NodeKind], names: list[str],
+                 values: list[str], sizes: list[int], levels: list[int],
+                 parents: list[int]):
+        if not kinds:
+            raise XmlError("a document must contain at least one node")
+        self.uri = uri
+        self.kinds = kinds
+        self.names = names
+        self.values = values
+        self.sizes = sizes
+        self.levels = levels
+        self.parents = parents
+        self.doc_seq = next(_doc_sequence)
+        self._id_index: dict[str, int] | None = None
+        self._idref_index: dict[str, list[int]] | None = None
+
+    # -- basic accessors -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def root(self) -> Node:
+        return Node(self, 0)
+
+    @property
+    def is_fragment(self) -> bool:
+        """True for parentless trees (no document node at the top)."""
+        return self.kinds[0] != NodeKind.DOCUMENT
+
+    def node(self, pre: int) -> Node:
+        if not 0 <= pre < len(self.kinds):
+            raise XmlError(f"pre rank {pre} out of range for {self.uri!r}")
+        return Node(self, pre)
+
+    def nodes(self) -> Iterator[Node]:
+        """All nodes in document order (including attributes)."""
+        for pre in range(len(self.kinds)):
+            yield Node(self, pre)
+
+    # -- ID/IDREF index (for fn:id / fn:idref) --------------------------------
+
+    def _build_id_indexes(self) -> None:
+        ids: dict[str, int] = {}
+        idrefs: dict[str, list[int]] = {}
+        for pre, kind in enumerate(self.kinds):
+            if kind != NodeKind.ATTRIBUTE:
+                continue
+            name = self.names[pre]
+            owner = self.parents[pre]
+            if name in ("id", "xml:id"):
+                ids.setdefault(self.values[pre], owner)
+            elif name.endswith("idref") or name == "person" or name.startswith("ref"):
+                # Schema-less heuristic mirroring the paper's remark that
+                # without a DTD, all ID-typed attributes must be conserved.
+                for token in self.values[pre].split():
+                    idrefs.setdefault(token, []).append(owner)
+        self._id_index = ids
+        self._idref_index = idrefs
+
+    def element_by_id(self, value: str) -> Node | None:
+        """fn:id lookup: the element whose ID attribute equals ``value``."""
+        if self._id_index is None:
+            self._build_id_indexes()
+        assert self._id_index is not None
+        pre = self._id_index.get(value)
+        return None if pre is None else Node(self, pre)
+
+    def elements_by_idref(self, value: str) -> list[Node]:
+        """fn:idref lookup: elements with an IDREF attribute equal to ``value``."""
+        if self._idref_index is None:
+            self._build_id_indexes()
+        assert self._idref_index is not None
+        return [Node(self, pre) for pre in self._idref_index.get(value, [])]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Document {self.uri!r} nodes={len(self.kinds)}>"
+
+
+class DocumentBuilder:
+    """Incremental builder producing a :class:`Document`.
+
+    Call sequence: optionally :meth:`start_document`, then nested
+    :meth:`start_element` / :meth:`attribute` / :meth:`text` /
+    :meth:`comment` / :meth:`processing_instruction` /
+    :meth:`end_element` calls, then :meth:`finish`.
+
+    ``size`` values are back-patched when an element closes, so building
+    is a single pass.
+    """
+
+    def __init__(self, uri: str = ""):
+        self.uri = uri
+        self._kinds: list[NodeKind] = []
+        self._names: list[str] = []
+        self._values: list[str] = []
+        self._sizes: list[int] = []
+        self._levels: list[int] = []
+        self._parents: list[int] = []
+        self._stack: list[int] = []  # pre ranks of open nodes
+        self._has_content: list[bool] = []  # parallel to _stack
+        self._finished = False
+
+    # -- low-level append ------------------------------------------------------
+
+    def _append(self, kind: NodeKind, name: str, value: str) -> int:
+        pre = len(self._kinds)
+        parent = self._stack[-1] if self._stack else -1
+        self._kinds.append(kind)
+        self._names.append(name)
+        self._values.append(value)
+        self._sizes.append(0)
+        self._levels.append(len(self._stack))
+        self._parents.append(parent)
+        return pre
+
+    # -- events ------------------------------------------------------------------
+
+    def start_document(self) -> None:
+        if self._kinds:
+            raise XmlError("document node must be the first node")
+        pre = self._append(NodeKind.DOCUMENT, "", "")
+        self._stack.append(pre)
+        self._has_content.append(False)
+
+    def start_element(self, name: str) -> None:
+        if self._has_content:
+            self._has_content[-1] = True
+        pre = self._append(NodeKind.ELEMENT, name, "")
+        self._stack.append(pre)
+        self._has_content.append(False)
+
+    def attribute(self, name: str, value: str) -> None:
+        if not self._stack or self._kinds[self._stack[-1]] != NodeKind.ELEMENT:
+            raise XmlError("attribute outside an open element")
+        if self._has_content[-1]:
+            raise XmlError(f"attribute {name!r} after element content")
+        self._append(NodeKind.ATTRIBUTE, name, value)
+
+    def text(self, content: str) -> None:
+        if not content:
+            return
+        if self._has_content:
+            self._has_content[-1] = True
+        # Merge adjacent text nodes, as the XDM requires.
+        last = len(self._kinds) - 1
+        if (last >= 0 and self._kinds[last] == NodeKind.TEXT
+                and self._parents[last] == (self._stack[-1] if self._stack else -1)):
+            self._values[last] += content
+            return
+        self._append(NodeKind.TEXT, "", content)
+
+    def comment(self, content: str) -> None:
+        if self._has_content:
+            self._has_content[-1] = True
+        self._append(NodeKind.COMMENT, "", content)
+
+    def processing_instruction(self, target: str, content: str) -> None:
+        if self._has_content:
+            self._has_content[-1] = True
+        self._append(NodeKind.PROCESSING_INSTRUCTION, target, content)
+
+    def end_element(self) -> None:
+        if not self._stack or self._kinds[self._stack[-1]] != NodeKind.ELEMENT:
+            raise XmlError("end_element without matching start_element")
+        pre = self._stack.pop()
+        self._has_content.pop()
+        self._sizes[pre] = len(self._kinds) - pre - 1
+
+    def end_document(self) -> None:
+        if len(self._stack) != 1 or self._kinds[self._stack[0]] != NodeKind.DOCUMENT:
+            raise XmlError("unbalanced document")
+        pre = self._stack.pop()
+        self._has_content.pop()
+        self._sizes[pre] = len(self._kinds) - pre - 1
+
+    # -- subtree copy -------------------------------------------------------------
+
+    def copy_subtree(self, node: Node) -> None:
+        """Deep-copy ``node`` (and its subtree) as content here.
+
+        This is the marshalling primitive: the copy gets fresh node
+        identity, which is exactly the pass-by-value behaviour whose
+        consequences the paper analyses.
+        """
+        src = node.doc
+        if self._has_content and node.kind != NodeKind.ATTRIBUTE:
+            self._has_content[-1] = True
+        base_level = len(self._stack)
+        start = node.pre
+        end = node.pre + src.sizes[node.pre]
+        src_level0 = src.levels[start]
+        offset = len(self._kinds) - start
+        parent_of_root = self._stack[-1] if self._stack else -1
+        for pre in range(start, end + 1):
+            self._kinds.append(src.kinds[pre])
+            self._names.append(src.names[pre])
+            self._values.append(src.values[pre])
+            self._sizes.append(src.sizes[pre])
+            self._levels.append(src.levels[pre] - src_level0 + base_level)
+            src_parent = src.parents[pre]
+            if pre == start:
+                self._parents.append(parent_of_root)
+            else:
+                self._parents.append(src_parent + offset)
+
+    # -- completion ------------------------------------------------------------------
+
+    def finish(self) -> Document:
+        if self._stack:
+            raise XmlError("finish() with unclosed elements")
+        if self._finished:
+            raise XmlError("builder already finished")
+        self._finished = True
+        return Document(self.uri, self._kinds, self._names, self._values,
+                        self._sizes, self._levels, self._parents)
+
+
+def build_fragment_from_nodes(uri: str, content: Iterable[Node]) -> Document:
+    """Copy a sequence of nodes into one fresh fragment document.
+
+    Used by element construction and by message shredding. The nodes
+    are wrapped under a synthetic element only when there is more than
+    one top-level node; a single element/text input becomes the
+    fragment root itself.
+    """
+    nodes = list(content)
+    builder = DocumentBuilder(uri)
+    if len(nodes) == 1 and nodes[0].kind == NodeKind.ELEMENT:
+        builder.copy_subtree(nodes[0])
+        return builder.finish()
+    builder.start_element("xrpc:sequence")
+    for node in nodes:
+        builder.copy_subtree(node)
+    builder.end_element()
+    return builder.finish()

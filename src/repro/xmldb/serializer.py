@@ -1,0 +1,88 @@
+"""Serialise nodes back to XML text.
+
+Serialisation is the marshalling workhorse: pass-by-value copies a
+parameter node by serialising its subtree into the message, and the
+message byte counts that drive the paper's bandwidth experiments
+(Figure 7) are the lengths of these strings.
+"""
+
+from __future__ import annotations
+
+from repro.xmldb.document import Document
+from repro.xmldb.node import Node, NodeKind
+
+
+def escape_text(value: str) -> str:
+    """Escape character data content."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value (double-quote delimited)."""
+    return (value.replace("&", "&amp;").replace("<", "&lt;")
+            .replace('"', "&quot;"))
+
+
+def serialize_node(node: Node) -> str:
+    """Serialise one node (and its subtree) to a string.
+
+    Attribute nodes serialise to their *value* (standalone attributes
+    have no XML syntax; XRPC wraps them separately in the message
+    layer).
+    """
+    out: list[str] = []
+    _serialize_into(node, out)
+    return "".join(out)
+
+
+def serialize(doc: Document) -> str:
+    """Serialise a whole document (or fragment) to a string."""
+    return serialize_node(doc.root)
+
+
+def _serialize_into(node: Node, out: list[str]) -> None:
+    doc = node.doc
+    kind = node.kind
+    if kind == NodeKind.DOCUMENT:
+        for child_pre in _child_pres(doc, node.pre):
+            _serialize_into(Node(doc, child_pre), out)
+        return
+    if kind == NodeKind.TEXT:
+        out.append(escape_text(node.value))
+        return
+    if kind == NodeKind.ATTRIBUTE:
+        out.append(escape_attribute(node.value))
+        return
+    if kind == NodeKind.COMMENT:
+        out.append(f"<!--{node.value}-->")
+        return
+    if kind == NodeKind.PROCESSING_INSTRUCTION:
+        out.append(f"<?{node.name} {node.value}?>")
+        return
+    # Element.
+    out.append(f"<{node.name}")
+    content_pres: list[int] = []
+    for child_pre in _child_pres(doc, node.pre, include_attributes=True):
+        if doc.kinds[child_pre] == NodeKind.ATTRIBUTE:
+            out.append(
+                f' {doc.names[child_pre]}="'
+                f'{escape_attribute(doc.values[child_pre])}"')
+        else:
+            content_pres.append(child_pre)
+    if not content_pres:
+        out.append("/>")
+        return
+    out.append(">")
+    for child_pre in content_pres:
+        _serialize_into(Node(doc, child_pre), out)
+    out.append(f"</{node.name}>")
+
+
+def _child_pres(doc: Document, pre: int, include_attributes: bool = False):
+    """Yield pre ranks of the direct children of ``pre`` in order."""
+    end = pre + doc.sizes[pre]
+    cursor = pre + 1
+    while cursor <= end:
+        if include_attributes or doc.kinds[cursor] != NodeKind.ATTRIBUTE:
+            yield cursor
+        cursor += doc.sizes[cursor] + 1

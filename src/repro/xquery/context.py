@@ -1,0 +1,129 @@
+"""Static and dynamic evaluation contexts.
+
+The static context carries what the paper's Problem 5 calls "Class 1"
+properties (static base URI, default collation, current dateTime) —
+XRPC ships these in the message so the remote side can install
+identical values; our :class:`StaticContext` is therefore serialisable
+into a message and reconstructable on the peer.
+
+The dynamic context carries variable bindings, the context item (for
+predicates), the document resolver (how ``fn:doc`` finds documents —
+the federation injects a resolver that performs *data shipping* for
+remote URIs), and the XRPC executor (how ``execute at`` performs a
+remote call — the federation injects the function-shipping transport).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Protocol
+
+from repro.errors import UndefinedVariableError, XQueryDynamicError
+from repro.xmldb.document import Document
+
+
+@dataclass(frozen=True)
+class StaticContext:
+    """Static query properties (XQuery static context subset)."""
+
+    base_uri: str = "http://localhost/"
+    default_collation: str = "http://www.w3.org/2005/xpath-functions/collation/codepoint"
+    current_datetime: str = "2009-03-29T12:00:00Z"
+
+    def to_attributes(self) -> dict[str, str]:
+        """Serialise for the XRPC message envelope (Problem 5 Class 1)."""
+        return {
+            "xrpc:base-uri": self.base_uri,
+            "xrpc:default-collation": self.default_collation,
+            "xrpc:current-dateTime": self.current_datetime,
+        }
+
+    @classmethod
+    def from_attributes(cls, attrs: dict[str, str]) -> "StaticContext":
+        return cls(
+            base_uri=attrs.get("xrpc:base-uri", cls.base_uri),
+            default_collation=attrs.get("xrpc:default-collation",
+                                        cls.default_collation),
+            current_datetime=attrs.get("xrpc:current-dateTime",
+                                       cls.current_datetime),
+        )
+
+
+class CostCounter:
+    """Mutable counters the evaluator increments; the benchmark cost
+    model converts them into simulated execution time."""
+
+    __slots__ = ("ticks", "nodes_visited", "docs_opened")
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.nodes_visited = 0
+        self.docs_opened = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "ticks": self.ticks,
+            "nodes_visited": self.nodes_visited,
+            "docs_opened": self.docs_opened,
+        }
+
+
+class DocResolver(Protocol):
+    def __call__(self, uri: str) -> Document: ...
+
+
+class XrpcExecutor(Protocol):
+    def __call__(self, dest: str, params: list[tuple[str, list]],
+                 body: Any) -> list: ...
+
+
+def _no_documents(uri: str) -> Document:
+    raise XQueryDynamicError(f"no document available at {uri!r}")
+
+
+def _no_xrpc(dest: str, params: list[tuple[str, list]], body: Any) -> list:
+    raise XQueryDynamicError(
+        f"execute at {dest!r}: no XRPC transport configured")
+
+
+@dataclass
+class DynamicContext:
+    """One evaluation environment. Immutable in style: binding
+    operations return new contexts sharing the counters/resolvers."""
+
+    variables: dict[str, list] = field(default_factory=dict)
+    context_item: Any = None
+    context_position: int = 0
+    context_size: int = 0
+    resolve_doc: Callable[[str], Document] = _no_documents
+    xrpc_execute: Callable[..., list] = _no_xrpc
+    #: Optional Bulk RPC entry point: (dest, [call-params...], body) ->
+    #: one result sequence per call. None disables bulk batching.
+    xrpc_execute_bulk: Callable[..., list] | None = None
+    counter: CostCounter = field(default_factory=CostCounter)
+
+    def bind(self, name: str, value: list) -> "DynamicContext":
+        variables = dict(self.variables)
+        variables[name] = value
+        return replace(self, variables=variables)
+
+    def bind_many(self, bindings: dict[str, list]) -> "DynamicContext":
+        variables = dict(self.variables)
+        variables.update(bindings)
+        return replace(self, variables=variables)
+
+    def lookup(self, name: str) -> list:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise UndefinedVariableError(name) from None
+
+    def with_context(self, item: Any, position: int,
+                     size: int) -> "DynamicContext":
+        return replace(self, context_item=item, context_position=position,
+                       context_size=size)
+
+    def fresh_scope(self) -> "DynamicContext":
+        """A context with no variable bindings (function body scope)."""
+        return replace(self, variables={}, context_item=None,
+                       context_position=0, context_size=0)

@@ -1,0 +1,95 @@
+"""Variable scoping helpers shared by the normaliser and the d-graph.
+
+XQuery binds variables in ``for``, ``let``, quantified, ``order by``
+and ``typeswitch`` expressions; the XRPC body is an isolated scope that
+sees only its declared parameters. :func:`scoped_children` makes those
+rules explicit so reference counting, free-variable computation and
+let-sinking all share one definition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xquery.ast import (
+    Expr, ForExpr, LetExpr, OrderByExpr, QuantifiedExpr, TypeswitchExpr,
+    VarRef, XRPCExpr,
+)
+
+#: Sentinel: the child is an isolated scope (XRPC bodies) — outer
+#: variables are invisible inside it.
+ISOLATED = object()
+
+
+def scoped_children(expr: Expr) -> Iterator[tuple[Expr, tuple[str, ...] | object]]:
+    """Yield ``(child, bound_names)`` for each direct child.
+
+    ``bound_names`` lists variables newly bound *for that child*;
+    :data:`ISOLATED` marks children in a fresh scope.
+    """
+    if isinstance(expr, ForExpr):
+        yield expr.seq, ()
+        bound = (expr.var,) if expr.pos_var is None else (expr.var,
+                                                          expr.pos_var)
+        yield expr.body, bound
+        return
+    if isinstance(expr, LetExpr):
+        yield expr.value, ()
+        yield expr.body, (expr.var,)
+        return
+    if isinstance(expr, QuantifiedExpr):
+        yield expr.seq, ()
+        yield expr.cond, (expr.var,)
+        return
+    if isinstance(expr, OrderByExpr):
+        yield expr.seq, ()
+        for spec in expr.specs:
+            yield spec.key, (expr.var,)
+        yield expr.body, (expr.var,)
+        return
+    if isinstance(expr, TypeswitchExpr):
+        yield expr.operand, ()
+        for case in expr.cases:
+            yield case.body, (case.var,) if case.var else ()
+        yield expr.default_body, ((expr.default_var,)
+                                  if expr.default_var else ())
+        return
+    if isinstance(expr, XRPCExpr):
+        yield expr.dest, ()
+        for param in expr.params:
+            yield param.value, ()
+        yield expr.body, ISOLATED
+        return
+    for child in expr.child_exprs():
+        yield child, ()
+
+
+def count_references(expr: Expr, var: str) -> int:
+    """Occurrences of ``$var`` in ``expr``, respecting shadowing."""
+    if isinstance(expr, VarRef):
+        return 1 if expr.name == var else 0
+    total = 0
+    for child, bound in scoped_children(expr):
+        if bound is ISOLATED:
+            continue
+        if var in bound:  # type: ignore[operator]
+            continue
+        total += count_references(child, var)
+    return total
+
+
+def free_variables(expr: Expr) -> set[str]:
+    """All variables referenced but not bound within ``expr``.
+
+    XRPC bodies contribute nothing: their parameters are their whole
+    environment.
+    """
+    if isinstance(expr, VarRef):
+        return {expr.name}
+    out: set[str] = set()
+    for child, bound in scoped_children(expr):
+        if bound is ISOLATED:
+            continue
+        child_free = free_variables(child)
+        out |= child_free - set(bound)  # type: ignore[arg-type]
+    return out

@@ -1,0 +1,25 @@
+"""The XRPC runtime: SOAP-style messages and the three marshalling
+semantics (pass-by-value, pass-by-fragment, pass-by-projection).
+
+Messages are genuinely serialised to XML text and re-parsed on the
+receiving peer with the :mod:`repro.xmldb` parser — message sizes (the
+paper's bandwidth metric) are the byte lengths of these texts, and the
+(de)serialisation component of the Figure 8 breakdown is charged per
+byte processed.
+"""
+
+from repro.xrpc.messages import (
+    Atomic, NodeCopy, NodeRef, AttrRef, Call, RequestMessage,
+    ResponseMessage,
+)
+from repro.xrpc.marshal import (
+    marshal_calls, unmarshal_calls, marshal_result, unmarshal_result,
+)
+from repro.xrpc.peer import RequestHandler
+
+__all__ = [
+    "Atomic", "NodeCopy", "NodeRef", "AttrRef", "Call",
+    "RequestMessage", "ResponseMessage",
+    "marshal_calls", "unmarshal_calls", "marshal_result",
+    "unmarshal_result", "RequestHandler",
+]

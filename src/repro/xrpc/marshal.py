@@ -1,0 +1,442 @@
+"""Marshalling sequences into message items under the three semantics.
+
+* **pass-by-value** — every node item becomes an independent deep copy
+  in the message (Figure 1): identity, order and structural context are
+  lost, exactly as Section II's Problems 1-4 describe.
+* **pass-by-fragment** — all node items are grouped into a fragments
+  preamble: per source document the *maximal* nodes (those not
+  contained in another shipped node) are serialised once, in document
+  order, and every item becomes a ``fragid``/``nodeid`` reference
+  (Figure 4). Shredding a fragment once per message on the receiving
+  side preserves identity, order, and ancestor/descendant
+  relationships *within* the message.
+* **pass-by-projection** — like by-fragment, but the fragment for each
+  source document is the runtime projection (Algorithm 1) of the used
+  and returned node sets obtained by evaluating the relative projection
+  paths against the actual values (Section VI-B). Ancestor chains are
+  preserved up to the lowest common ancestor, so reverse/horizontal
+  axes and fn:root/fn:id work on the receiving side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XrpcMarshalError
+from repro.paths.analysis import PathSets
+from repro.paths.relpath import RelPath, parse_rel_path
+from repro.xmldb.document import Document, DocumentBuilder
+from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.parser import parse_fragment
+from repro.xmldb.projection import project
+from repro.xmldb.serializer import serialize_node
+from repro.xquery.xdm import UntypedAtomic, format_double
+
+from repro.xrpc.messages import Atomic, AttrRef, Call, Item, NodeCopy, NodeRef
+
+# ---------------------------------------------------------------------------
+# Atomics
+# ---------------------------------------------------------------------------
+
+
+def marshal_atomic(value) -> Atomic:
+    if isinstance(value, bool):
+        return Atomic("xs:boolean", "true" if value else "false")
+    if isinstance(value, int):
+        return Atomic("xs:integer", str(value))
+    if isinstance(value, float):
+        return Atomic("xs:double", format_double(value))
+    if isinstance(value, UntypedAtomic):
+        return Atomic("xs:untypedAtomic", str(value))
+    if isinstance(value, str):
+        return Atomic("xs:string", value)
+    raise XrpcMarshalError(f"cannot marshal atomic {type(value).__name__}")
+
+
+def unmarshal_atomic(item: Atomic):
+    if item.type_name == "xs:boolean":
+        return item.lexical == "true"
+    if item.type_name == "xs:integer":
+        return int(item.lexical)
+    if item.type_name in ("xs:double", "xs:decimal", "xs:float"):
+        return float(item.lexical)
+    if item.type_name == "xs:untypedAtomic":
+        return UntypedAtomic(item.lexical)
+    return item.lexical
+
+
+# ---------------------------------------------------------------------------
+# Marshalling (sender side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MarshalResult:
+    """Items per call/param plus the shared fragments preamble."""
+
+    calls: list[Call]
+    fragments: list[str] = field(default_factory=list)
+
+
+def marshal_calls(calls: list[list[tuple[str, list]]], semantics: str,
+                  param_paths: dict[str, PathSets] | None = None
+                  ) -> MarshalResult:
+    """Marshal the parameter sequences of one (bulk) request.
+
+    ``calls`` is a list of calls, each a list of ``(param_name,
+    sequence)`` pairs. ``semantics`` is one of ``by-value``,
+    ``by-fragment``, ``by-projection``; the latter consumes
+    ``param_paths`` (relative used/returned paths per parameter).
+    """
+    if semantics == "by-value":
+        marshalled = [
+            Call([(name, [_by_value_item(item) for item in seq])
+                  for name, seq in call])
+            for call in calls
+        ]
+        return MarshalResult(marshalled)
+    return _marshal_with_fragments(calls, semantics, param_paths or {})
+
+
+def marshal_result(result: list, semantics: str,
+                   used_paths: list[str] | None,
+                   returned_paths: list[str] | None) -> MarshalResult:
+    """Marshal a function result sequence for the response message.
+
+    Under by-projection the request's projection paths are evaluated
+    against the result sequence to project the response fragments.
+    """
+    path_sets = None
+    if semantics == "by-projection":
+        path_sets = PathSets(
+            used={parse_rel_path(p) for p in used_paths or []},
+            returned={parse_rel_path(p) for p in returned_paths or []},
+        )
+    calls = [[("result", result)]]
+    if semantics == "by-value":
+        return marshal_calls(calls, "by-value")
+    return _marshal_with_fragments(
+        calls, semantics,
+        {"result": path_sets} if path_sets is not None else {})
+
+
+def _by_value_item(item) -> Item:
+    if not isinstance(item, Node):
+        return marshal_atomic(item)
+    kind = item.kind
+    if kind == NodeKind.ATTRIBUTE:
+        return NodeCopy("attribute", item.name, item.value)
+    if kind == NodeKind.TEXT:
+        return NodeCopy("text", "", item.value)
+    if kind == NodeKind.DOCUMENT:
+        # Serialising a document node ships its root element.
+        from repro.xmldb import axes as axes_mod
+
+        for child in axes_mod.child(item):
+            if child.kind == NodeKind.ELEMENT:
+                return NodeCopy("element", "", serialize_node(child))
+        raise XrpcMarshalError("document node without root element")
+    return NodeCopy("element", "", serialize_node(item))
+
+
+@dataclass
+class _FragmentPlan:
+    """One source document's contribution to the fragments preamble."""
+
+    fragid: int
+    root_pre: int                       # in the (possibly projected) doc
+    doc: Document                       # the doc the serialised text is from
+    pre_map: dict[int, int] | None      # source pre -> projected pre
+    _nodeid_cache: dict[int, int] = field(default_factory=dict)
+
+    def nodeid(self, source_pre: int) -> int:
+        """1-based index of the node among the fragment's
+        ``descendant::node()`` enumeration (attributes excluded),
+        where index 1 is the fragment root itself."""
+        pre = source_pre if self.pre_map is None else self.pre_map[source_pre]
+        cached = self._nodeid_cache.get(pre)
+        if cached is not None:
+            return cached
+        count = 0
+        for p in range(self.root_pre, pre + 1):
+            if self.doc.kinds[p] != NodeKind.ATTRIBUTE:
+                count += 1
+        self._nodeid_cache[pre] = count
+        return count
+
+
+def _marshal_with_fragments(calls: list[list[tuple[str, list]]],
+                            semantics: str,
+                            param_paths: dict[str, PathSets]
+                            ) -> MarshalResult:
+    # 1. Gather all node items, grouped by source document.
+    by_doc: dict[int, list[Node]] = {}
+    docs: dict[int, Document] = {}
+    for call in calls:
+        for name, seq in call:
+            for item in seq:
+                if isinstance(item, Node):
+                    by_doc.setdefault(id(item.doc), []).append(item)
+                    docs[id(item.doc)] = item.doc
+
+    # 2. Evaluate projection paths (by-projection) per parameter.
+    used_by_doc: dict[int, list[Node]] = {}
+    returned_by_doc: dict[int, list[Node]] = {}
+    if semantics == "by-projection":
+        for call in calls:
+            for name, seq in call:
+                sets = param_paths.get(name)
+                nodes = [i for i in seq if isinstance(i, Node)]
+                if not nodes:
+                    continue
+                if sets is None:
+                    sets = PathSets(returned={RelPath()})
+                _evaluate_paths_into(nodes, sets, used_by_doc,
+                                     returned_by_doc, docs)
+
+    # 3. Build one fragment per source document.
+    plans: dict[int, _FragmentPlan] = {}
+    fragments: list[str] = []
+    ordered_docs = sorted(docs.values(), key=lambda d: d.doc_seq)
+    for doc in ordered_docs:
+        doc_key = id(doc)
+        nodes = by_doc[doc_key]
+        if semantics == "by-projection":
+            plan, text = _projected_fragment(
+                doc, nodes,
+                used_by_doc.get(doc_key, []),
+                returned_by_doc.get(doc_key, []),
+                len(fragments) + 1)
+        else:
+            plan, text = _containment_fragment(doc, nodes,
+                                               len(fragments) + 1)
+        plans[doc_key] = plan
+        fragments.append(text)
+
+    # 4. Emit items as references into the fragments.
+    out_calls: list[Call] = []
+    for call in calls:
+        out_params = []
+        for name, seq in call:
+            items: list[Item] = []
+            for item in seq:
+                if not isinstance(item, Node):
+                    items.append(marshal_atomic(item))
+                    continue
+                items.append(_reference_item(item, plans[id(item.doc)]))
+            out_params.append((name, items))
+        out_calls.append(Call(out_params))
+    return MarshalResult(out_calls, fragments)
+
+
+def _evaluate_paths_into(nodes: list[Node], sets: PathSets,
+                         used_by_doc: dict[int, list[Node]],
+                         returned_by_doc: dict[int, list[Node]],
+                         docs: dict[int, Document]) -> None:
+    """Runtime path evaluation: used/returned node sets per document.
+
+    The nodes themselves always join the used set — they are the
+    anchors the fragid/nodeid references point at. Additionally, every
+    path *prefix* ending in a reverse/horizontal or pseudo step
+    contributes its results as used anchors: the receiving peer must
+    find those upward/sideways targets in the fragment, so the
+    Algorithm 1 LCA trim may not cut them away (this realises the
+    paper's "taking the lowest common ancestor of those" for fn:root
+    and friends)."""
+    for node in nodes:
+        used_by_doc.setdefault(id(node.doc), []).append(node)
+
+    def record(path: RelPath, target: dict[int, list[Node]]) -> None:
+        for result in path.evaluate(nodes):
+            target.setdefault(id(result.doc), []).append(result)
+            docs[id(result.doc)] = result.doc
+        for prefix in _non_downward_prefixes(path):
+            for result in prefix.evaluate(nodes):
+                used_by_doc.setdefault(id(result.doc), []).append(result)
+                docs[id(result.doc)] = result.doc
+
+    for path in sets.used:
+        record(path, used_by_doc)
+    for path in sets.returned:
+        record(path, returned_by_doc)
+
+
+_NON_DOWNWARD = frozenset({
+    "parent", "ancestor", "ancestor-or-self", "preceding",
+    "preceding-sibling", "following", "following-sibling",
+    "root()", "id()", "idref()",
+})
+
+
+def _non_downward_prefixes(path: RelPath) -> list[RelPath]:
+    return [RelPath(path.steps[:index + 1])
+            for index, step in enumerate(path.steps[:-1])
+            if step.axis in _NON_DOWNWARD]
+
+
+def _containment_fragment(doc: Document, nodes: list[Node],
+                          fragid: int) -> tuple[_FragmentPlan, str]:
+    """Pass-by-fragment: serialise the maximal shipped nodes once, in
+    document order ("if a sent node is a descendant of another one, it
+    is not serialized twice")."""
+    element_pres = sorted({_anchor_pre(node) for node in nodes})
+    roots: list[int] = []
+    current_end = -1
+    for pre in element_pres:
+        if pre > current_end:
+            roots.append(pre)
+            current_end = pre + doc.sizes[pre]
+    if len(roots) == 1 and doc.kinds[roots[0]] == NodeKind.ELEMENT:
+        root_pre = roots[0]
+        plan = _FragmentPlan(fragid, root_pre, doc, None)
+        return plan, serialize_node(Node(doc, root_pre))
+    # Several disjoint maximal nodes: ship their subtrees under one
+    # synthetic container so nodeid addressing stays single-rooted.
+    # Their relative document order is preserved.
+    builder = DocumentBuilder(f"{doc.uri}#fragment")
+    builder.start_element("xrpc:forest")
+    for pre in roots:
+        builder.copy_subtree(Node(doc, pre))
+    builder.end_element()
+    forest = builder.finish()
+    pre_map: dict[int, int] = {}
+    cursor = 1
+    for pre in roots:
+        span = doc.sizes[pre] + 1
+        for offset in range(span):
+            pre_map[pre + offset] = cursor + offset
+        cursor += span
+    plan = _FragmentPlan(fragid, 0, forest, pre_map)
+    return plan, serialize_node(forest.root)
+
+
+def _projected_fragment(doc: Document, nodes: list[Node],
+                        used: list[Node], returned: list[Node],
+                        fragid: int) -> tuple[_FragmentPlan, str]:
+    """Pass-by-projection: Algorithm 1 over the used/returned sets."""
+    anchor_used = [Node(doc, _anchor_pre(n)) for n in nodes] + used
+    result = project(anchor_used, returned)
+    if result is None:  # pragma: no cover - nodes is never empty here
+        raise XrpcMarshalError("empty projection")
+    if result.doc.kinds[0] != NodeKind.ELEMENT:
+        # The LCA trim reached a non-element (e.g. a lone text node);
+        # fragments must be element-rooted, fall back to containment.
+        return _containment_fragment(doc, nodes + used + returned, fragid)
+    plan = _FragmentPlan(fragid, 0, result.doc, result.pre_map)
+    return plan, serialize_node(result.doc.root)
+
+
+def _anchor_pre(node: Node) -> int:
+    """The element pre anchoring a node reference: attributes are
+    addressed through their owner element (footnote 2)."""
+    if node.kind == NodeKind.ATTRIBUTE:
+        return node.doc.parents[node.pre]
+    if node.kind == NodeKind.DOCUMENT:
+        # Reference the root element instead.
+        for pre in range(1, len(node.doc)):
+            if node.doc.kinds[pre] == NodeKind.ELEMENT:
+                return pre
+        raise XrpcMarshalError("document without root element")
+    return node.pre
+
+
+def _reference_item(node: Node, plan: _FragmentPlan) -> Item:
+    if node.kind == NodeKind.ATTRIBUTE:
+        return AttrRef(plan.fragid, plan.nodeid(_anchor_pre(node)),
+                       node.name)
+    return NodeRef(plan.fragid, plan.nodeid(_anchor_pre(node)))
+
+
+# ---------------------------------------------------------------------------
+# Unmarshalling (receiver side)
+# ---------------------------------------------------------------------------
+
+
+class _FragmentSpace:
+    """The shredded fragments of one message: each fragment becomes one
+    fresh document, shared by every reference into it — which is what
+    preserves node identity and order within the message."""
+
+    def __init__(self, fragments: list[str], base_uri: str):
+        self.docs: list[Document] = [
+            parse_fragment(text, uri=f"{base_uri}#fragment{i + 1}")
+            for i, text in enumerate(fragments)
+        ]
+        self._nodeid_maps: list[list[int] | None] = [None] * len(self.docs)
+
+    def resolve(self, fragid: int, nodeid: int) -> Node:
+        doc = self.docs[fragid - 1]
+        mapping = self._nodeid_maps[fragid - 1]
+        if mapping is None:
+            mapping = [pre for pre in range(len(doc))
+                       if doc.kinds[pre] != NodeKind.ATTRIBUTE]
+            self._nodeid_maps[fragid - 1] = mapping
+        try:
+            pre = mapping[nodeid - 1]
+        except IndexError:
+            raise XrpcMarshalError(
+                f"nodeid {nodeid} out of range in fragment {fragid}") from None
+        node = Node(doc, pre)
+        # Unwrap the synthetic forest container.
+        if pre == 0 and doc.names[0] == "xrpc:forest":
+            raise XrpcMarshalError("reference to forest container")
+        return node
+
+    def resolve_attr(self, fragid: int, nodeid: int, name: str) -> Node:
+        owner = self.resolve(fragid, nodeid)
+        from repro.xmldb import axes as axes_mod
+
+        for attr in axes_mod.attribute(owner):
+            if attr.name == name:
+                return attr
+        raise XrpcMarshalError(f"attribute {name!r} not found via "
+                               f"fragment {fragid} node {nodeid}")
+
+
+def unmarshal_calls(calls: list[Call], fragments: list[str],
+                    base_uri: str) -> list[list[tuple[str, list]]]:
+    """Reconstruct parameter sequences on the receiving peer."""
+    space = _FragmentSpace(fragments, base_uri)
+    out = []
+    for call in calls:
+        out.append([(name, _unmarshal_sequence(items, space, base_uri))
+                    for name, items in call.params])
+    return out
+
+
+def unmarshal_result(results: list[list[Item]], fragments: list[str],
+                     base_uri: str) -> list[list]:
+    space = _FragmentSpace(fragments, base_uri)
+    return [_unmarshal_sequence(items, space, base_uri)
+            for items in results]
+
+
+def _unmarshal_sequence(items: list[Item], space: _FragmentSpace,
+                        base_uri: str) -> list:
+    out: list = []
+    for item in items:
+        if isinstance(item, Atomic):
+            out.append(unmarshal_atomic(item))
+        elif isinstance(item, NodeCopy):
+            out.append(_shred_copy(item, base_uri))
+        elif isinstance(item, NodeRef):
+            out.append(space.resolve(item.fragid, item.nodeid))
+        elif isinstance(item, AttrRef):
+            out.append(space.resolve_attr(item.fragid, item.nodeid,
+                                          item.name))
+        else:  # pragma: no cover - exhaustive
+            raise XrpcMarshalError(f"unknown item {item!r}")
+    return out
+
+
+def _shred_copy(item: NodeCopy, base_uri: str) -> Node:
+    """Pass-by-value: each copy becomes its own fragment document."""
+    if item.node_kind == "element":
+        return parse_fragment(item.xml, uri=base_uri).root
+    if item.node_kind == "attribute":
+        doc = Document(base_uri, [NodeKind.ATTRIBUTE], [item.name],
+                       [item.xml], [0], [0], [-1])
+        return doc.root
+    doc = Document(base_uri, [NodeKind.TEXT], [""], [item.xml],
+                   [0], [0], [-1])
+    return doc.root

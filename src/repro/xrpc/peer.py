@@ -1,0 +1,89 @@
+"""Peer-side request handling: the "HTTP server" box of Figure 1.
+
+A :class:`RequestHandler` parses a request message, shreds the
+parameter payload into fragment documents, evaluates the shipped
+function body once per (bulk) call, and serialises the response —
+projecting it first when the request carried projection paths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.xmldb.document import Document
+from repro.xquery.ast import Module
+from repro.xquery.context import CostCounter, DynamicContext, StaticContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_expr
+
+from repro.xrpc.marshal import marshal_result, unmarshal_calls
+from repro.xrpc.messages import RequestMessage, ResponseMessage
+
+
+class RequestHandler:
+    """Executes XRPC requests against one peer's document space."""
+
+    def __init__(self, peer_name: str,
+                 resolve_doc: Callable[[str], Document],
+                 xrpc_execute: Callable[..., list],
+                 semantics: str,
+                 counter: CostCounter | None = None):
+        self.peer_name = peer_name
+        self.resolve_doc = resolve_doc
+        self.xrpc_execute = xrpc_execute
+        self.semantics = semantics
+        self.counter = counter if counter is not None else CostCounter()
+
+    def handle(self, request: RequestMessage) -> ResponseMessage:
+        """Parse, evaluate (once per call), and marshal the response."""
+        body = parse_expr(request.query)
+        static = StaticContext.from_attributes(request.static_attrs)
+        evaluator = Evaluator(Module([], body), static)
+
+        calls = unmarshal_calls(request.calls, request.fragments,
+                                base_uri=f"xrpc://{self.peer_name}/msg")
+        results: list[list] = []
+        for params in calls:
+            env = DynamicContext(
+                variables={name: value for name, value in params},
+                resolve_doc=self.resolve_doc,
+                xrpc_execute=self.xrpc_execute,
+                counter=self.counter,
+            )
+            results.append(evaluator.evaluate(body, env))
+
+        if self.semantics == "by-value":
+            marshalled = [marshal_result(result, "by-value", None, None)
+                          for result in results]
+            return ResponseMessage(
+                results=[m.calls[0].params[0][1] for m in marshalled])
+
+        # Fragment/projection responses share one fragments preamble:
+        # marshal all call results together so identity is preserved
+        # across bulk calls (the Bulk RPC guarantee of Section V).
+        from repro.xrpc.marshal import marshal_calls as _marshal
+
+        from repro.paths.analysis import PathSets
+        from repro.paths.relpath import parse_rel_path
+
+        param_paths = None
+        semantics = self.semantics
+        if semantics == "by-projection":
+            if request.used_paths is None and request.returned_paths is None:
+                # No projection paths: respond in by-fragment format
+                # ("the absence or presence of this element determines
+                # whether the response should be in the original ...
+                # format").
+                semantics = "by-fragment"
+            else:
+                param_paths = {"result": PathSets(
+                    used={parse_rel_path(p)
+                          for p in request.used_paths or []},
+                    returned={parse_rel_path(p)
+                              for p in request.returned_paths or []},
+                )}
+        bundle = _marshal([[("result", result)] for result in results],
+                          semantics, param_paths)
+        return ResponseMessage(
+            results=[call.params[0][1] for call in bundle.calls],
+            fragments=bundle.fragments)

@@ -1,0 +1,67 @@
+"""Shared fixtures: canonical documents and federations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.federation import Federation
+from repro.xmldb.parser import parse_document, parse_fragment
+
+#: The abstract tree of the paper's Figure 6 (runtime projection).
+FIG6_XML = ("<a><b><c><d><e/><f/></d></c>"
+            "<g><h><i/></h><j><k><l/><m/></k><n/></j></g><o/></b></a>")
+
+#: Students/course pair used by Table III/IV tests (query Q2).
+STUDENTS_XML = """<people>
+ <person><name>Ann</name><tutor>Bob</tutor><id>s1</id></person>
+ <person><name>Bob</name><id>s2</id></person>
+ <person><name>Col</name><tutor>Zed</tutor><id>s3</id></person>
+ <person><name>Dot</name><tutor>Ann</tutor><id>s4</id></person>
+</people>"""
+
+COURSE_XML = """<enroll>
+ <exam id="s2"><grade>A</grade></exam>
+ <exam id="s1"><grade>B</grade></exam>
+ <exam id="s3"><grade>C</grade></exam>
+ <exam id="s4"><grade>D</grade></exam>
+</enroll>"""
+
+#: Table III's query Q2 (original, sugared form).
+Q2 = """
+(let $s := doc("xrpc://A/students.xml")/child::people/child::person,
+     $c := doc("xrpc://B/course42.xml"),
+     $t := $s[tutor = $s/name]
+ for $e in $c/enroll/exam
+ where $e/@id = $t/id
+ return $e)/grade
+"""
+
+
+@pytest.fixture
+def fig6_doc():
+    return parse_fragment(FIG6_XML, uri="fig6.xml")
+
+
+@pytest.fixture
+def simple_doc():
+    return parse_document(
+        '<a x="1" y="2"><b><c/>text</b><d>hi</d><!--note--><e/></a>',
+        uri="simple.xml")
+
+
+@pytest.fixture
+def q2_federation():
+    """Three peers hosting the Table III documents."""
+    federation = Federation()
+    federation.add_peer("A").store("students.xml", STUDENTS_XML)
+    federation.add_peer("B").store("course42.xml", COURSE_XML)
+    federation.add_peer("local")
+    return federation
+
+
+def find_by_name(doc, name: str):
+    """First node with the given element name (test helper)."""
+    for node in doc.nodes():
+        if node.name == name:
+            return node
+    raise AssertionError(f"no node named {name!r}")

@@ -1,0 +1,84 @@
+"""Distributed code motion unit tests (Section IV, Example 4.3)."""
+
+from repro.decompose.code_motion import apply_code_motion
+from repro.xquery.ast import Module, XRPCExpr, walk
+from repro.xquery.parser import parse_expr
+from repro.xquery.pretty import pretty
+
+
+def motion(query: str) -> XRPCExpr:
+    module = Module([], parse_expr(query))
+    rewritten = apply_code_motion(module)
+    return next(e for e in walk(rewritten.body)
+                if isinstance(e, XRPCExpr))
+
+
+class TestMoves:
+    def test_value_compared_path_moves(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ $p/child::id = 1 }")
+        (param,) = call.params
+        assert param.name == "p_cm1"
+        assert pretty(param.value) == "data($t/child::id)"
+        assert "$p_cm1" in pretty(call.body)
+
+    def test_multiple_distinct_paths(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ ($p/child::id = 1, $p/child::age = 2) }")
+        assert [pretty(p.value) for p in call.params] == [
+            "data($t/child::id)", "data($t/child::age)"]
+
+    def test_same_path_reused_once(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ ($p/child::id = 1, $p/child::id = 2) }")
+        assert len(call.params) == 1
+
+    def test_atomizing_builtin_consumer(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ count($p/child::id) }")
+        assert call.params[0].name == "p_cm1"
+
+    def test_ebv_condition_blocks(self):
+        # EBV of a multi-item atomic sequence is an error, so a path
+        # consumed as an if-condition cannot ship atomized.
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ if ($p/child::ok) then 1 else 2 }")
+        assert call.params[0].name == "p"
+
+
+class TestBlocked:
+    def test_escaping_parameter_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) { $p }')
+        assert call.params[0].name == "p"
+
+    def test_path_in_result_position_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ $p/child::id }")
+        assert call.params[0].name == "p"
+
+    def test_reverse_axis_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ $p/parent::x = 1 }")
+        assert call.params[0].name == "p"
+
+    def test_node_comparison_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ $p/child::id is <x/> }")
+        assert call.params[0].name == "p"
+
+    def test_predicate_in_path_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ $p/child::id[1] = 1 }")
+        assert call.params[0].name == "p"
+
+    def test_mixed_uses_block_entirely(self):
+        # One escaping use poisons the parameter even if another use
+        # is extractable.
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ ($p/child::id = 1, $p/child::data) }")
+        assert call.params[0].name == "p"
+
+    def test_branch_position_blocks(self):
+        call = motion('execute at {"B"} function ($p := $t) '
+                      "{ if (1) then $p/child::id else () }")
+        assert call.params[0].name == "p"

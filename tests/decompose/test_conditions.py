@@ -1,0 +1,194 @@
+"""Insertion conditions i-iv per strategy (Sections IV-VI).
+
+Test design note: a hazardous operation (reverse step, node
+comparison, ...) only matters when it crosses the ship boundary — if
+the whole expression containing it can ship to one peer, the hazard
+vanishes and the planner legitimately ships wholesale. The queries
+below therefore pin the *consumer* locally by making it depend on a
+local document (``doc("l.xml")``), so the only candidate is the remote
+subquery and the condition decides its fate.
+"""
+
+from repro.decompose.conditions import valid_decomposition_points
+from repro.decompose.points import interesting_points, select_insertions
+from repro.dgraph.graph import build_dgraph
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_query
+
+REMOTE = 'doc("xrpc://P/d.xml")'
+ANCHOR = 'doc("l.xml")/child::x'  # pins the enclosing expression locally
+
+
+def shipped_hosts(query: str, strategy: str) -> list[str]:
+    """Hosts that receive a subquery under one strategy."""
+    graph = build_dgraph(normalize(parse_query(query)))
+    dpoints = valid_decomposition_points(graph, strategy)
+    ipoints = interesting_points(graph, dpoints)
+    return sorted(p.host for p in select_insertions(graph, ipoints))
+
+
+class TestConditionI:
+    """Reverse/horizontal steps on shipped nodes: forbidden under
+    by-value and by-fragment, allowed under by-projection."""
+
+    QUERY = (f"let $b := {REMOTE}/child::a/child::b "
+             f"return for $y in {ANCHOR} return $b/parent::a")
+
+    def test_by_value_blocks(self):
+        assert shipped_hosts(self.QUERY, "by-value") == []
+
+    def test_by_fragment_blocks(self):
+        assert shipped_hosts(self.QUERY, "by-fragment") == []
+
+    def test_by_projection_allows(self):
+        assert shipped_hosts(self.QUERY, "by-projection") == ["P"]
+
+    def test_horizontal_axis_also_blocks(self):
+        query = (f"let $b := {REMOTE}/child::a/child::b "
+                 f"return for $y in {ANCHOR} "
+                 "return $b/following-sibling::c")
+        assert shipped_hosts(query, "by-fragment") == []
+        assert shipped_hosts(query, "by-projection") == ["P"]
+
+    def test_reverse_axis_on_parameter_blocks(self):
+        # The reverse step is inside the shipped body (a predicate of
+        # the shipped step), applied to data bound outside — a shipped
+        # parameter whose parent is lost under pass-by-value.
+        query = (f"let $n := {ANCHOR}/child::y return "
+                 f"{REMOTE}/child::a[$n/parent::x]")
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-projection") == ["P"]
+
+    def test_whole_single_peer_query_ships_despite_reverse_axis(self):
+        # No local pin: everything lives on P, so the reverse step runs
+        # remotely with local semantics — shipping the root is legal.
+        query = f"let $b := {REMOTE}/child::a/child::b return $b/parent::a"
+        assert shipped_hosts(query, "by-value") == ["P"]
+
+
+class TestConditionII:
+    """Node comparisons / set ops on shipped nodes."""
+
+    QUERY = (f"let $a := {REMOTE}/child::a "
+             f"return for $y in {ANCHOR} return $a is $y")
+
+    def test_by_value_blocks(self):
+        assert shipped_hosts(self.QUERY, "by-value") == []
+
+    def test_by_fragment_allows_without_doc_conflict(self):
+        # Identity is preserved within one fragment space and no other
+        # call site opens the same document.
+        assert shipped_hosts(self.QUERY, "by-fragment") == ["P"]
+
+    def test_by_fragment_blocks_on_doc_conflict(self):
+        # path $a is pinned locally by its predicate; $b would ship
+        # alone and its copies would be identity-compared against
+        # local nodes of the same document.
+        query = (f"let $a := {REMOTE}/child::a[{ANCHOR}] "
+                 f"let $b := {REMOTE}/child::a "
+                 "return $a is $b")
+        assert shipped_hosts(query, "by-fragment") == []
+
+    def test_node_set_op_blocks_by_value(self):
+        query = (f"let $a := {REMOTE}/child::a "
+                 f"return for $y in {ANCHOR} return ($a intersect $a)")
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-fragment") == ["P"]
+
+
+class TestConditionIII:
+    """Downward steps over potentially mixed/unordered results."""
+
+    def test_for_output_with_steps_blocks_by_value(self):
+        # The for-loop's own output receives a step: the loop cannot
+        # ship by value...
+        query = (f"count(((for $x in {REMOTE}/child::a return $x)"
+                 f"/child::b, {ANCHOR}))")
+        graph = build_dgraph(normalize(parse_query(query)))
+        dpoints = valid_decomposition_points(graph, "by-value")
+        for_vertex = next(v for v in graph.vertices if v.rule == "ForExpr")
+        assert for_vertex.vid not in dpoints
+        # ... but the path inside its sequence still ships.
+        assert shipped_hosts(query, "by-value") == ["P"]
+
+    def test_bulk_rpc_lifts_for_restriction_under_fragment(self):
+        query = (f"count(((for $x in {REMOTE}/child::a return $x)"
+                 f"/child::b, {ANCHOR}))")
+        graph = build_dgraph(normalize(parse_query(query)))
+        dpoints = valid_decomposition_points(graph, "by-fragment")
+        for_vertex = next(v for v in graph.vertices if v.rule == "ForExpr")
+        assert for_vertex.vid in dpoints
+
+    def test_overlapping_axis_result_blocks_by_value(self):
+        # descendant:: results can overlap; a step over shipped
+        # overlapping copies breaks identity/dedup under by-value.
+        query = (f"let $a := {REMOTE}/descendant::a "
+                 f"return for $y in {ANCHOR} return $a/child::b")
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-fragment") == ["P"]
+
+    def test_cross_call_mixing_same_doc_blocks_everywhere(self):
+        # Problem 4: two applications of one document whose results
+        # merge under a step — and the first is pinned locally, so the
+        # second would ship alone and mix with local nodes of the same
+        # document.
+        query = (f"({REMOTE}/child::a[{ANCHOR}], {REMOTE}/child::b)"
+                 "/child::c")
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-fragment") == []
+        assert shipped_hosts(query, "by-projection") == []
+
+    def test_single_call_mixing_ships_wholesale_under_fragment(self):
+        # Without the pin, both applications travel in ONE call: the
+        # fragment space preserves cross-application identity and the
+        # step is evaluated safely (this is the hasMatchingDoc point:
+        # the *conflict* only exists across separate calls).
+        query = f"({REMOTE}/child::a, {REMOTE}/child::b)/child::c"
+        assert shipped_hosts(query, "by-fragment") == ["P"]
+
+    def test_mixing_different_docs_fine_under_fragment(self):
+        query = ('((doc("xrpc://P/d.xml")/child::a[' + ANCHOR + '], '
+                 'doc("xrpc://P/e.xml")/child::b)/child::c)')
+        # The d.xml branch is pinned; the e.xml branch may ship under
+        # fragment (different document: no identity conflict).
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-fragment") == ["P"]
+
+    def test_child_steps_on_shipped_path_allowed_by_value(self):
+        query = (f"count((({REMOTE}/child::a/child::b)/child::c, "
+                 f"{ANCHOR}))")
+        assert shipped_hosts(query, "by-value") == ["P"]
+
+
+class TestConditionIV:
+    """fn:root / fn:id / fn:idref on shipped nodes."""
+
+    QUERY = (f"let $a := {REMOTE}/child::a/child::b "
+             f"return for $y in {ANCHOR} return root($a)")
+
+    def test_by_value_blocks(self):
+        assert shipped_hosts(self.QUERY, "by-value") == []
+
+    def test_by_fragment_blocks(self):
+        assert shipped_hosts(self.QUERY, "by-fragment") == []
+
+    def test_by_projection_allows(self):
+        assert shipped_hosts(self.QUERY, "by-projection") == ["P"]
+
+    def test_id_blocks_too(self):
+        query = (f"let $a := {REMOTE}/child::a "
+                 f'return for $y in {ANCHOR} return id("k", $a)')
+        assert shipped_hosts(query, "by-value") == []
+        assert shipped_hosts(query, "by-projection") == ["P"]
+
+
+class TestSafeBaseline:
+    def test_pure_downward_query_valid_everywhere(self):
+        query = f"{REMOTE}/child::a/child::b[child::c = 1]"
+        for strategy in ("by-value", "by-fragment", "by-projection"):
+            assert shipped_hosts(query, strategy) == ["P"]
+
+    def test_atomic_results_always_fine(self):
+        query = f"(count({REMOTE}/child::a), {ANCHOR})"
+        for strategy in ("by-value", "by-fragment", "by-projection"):
+            assert shipped_hosts(query, strategy) == ["P"]

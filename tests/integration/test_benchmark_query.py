@@ -1,0 +1,66 @@
+"""The Section VII benchmark at small scale: correctness plus the
+orderings the paper's Figures 7-9 report."""
+
+import pytest
+
+from repro.decompose import Strategy
+from repro.workloads import run_all_strategies
+from repro.xquery.xdm import sequences_deep_equal
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return run_all_strategies(SCALE)
+
+
+def test_all_strategies_agree(runs):
+    baseline = runs[Strategy.DATA_SHIPPING].result.items
+    assert len(baseline) > 0, "workload produced an empty result"
+    for strategy, run in runs.items():
+        assert sequences_deep_equal(baseline, run.result.items), \
+            strategy.value
+
+
+def test_figure7_bandwidth_ordering(runs):
+    transferred = {s: r.stats.total_transferred_bytes
+                   for s, r in runs.items()}
+    assert transferred[Strategy.BY_VALUE] < \
+        transferred[Strategy.DATA_SHIPPING]
+    assert transferred[Strategy.BY_FRAGMENT] < \
+        transferred[Strategy.BY_VALUE]
+    assert transferred[Strategy.BY_PROJECTION] < \
+        transferred[Strategy.BY_FRAGMENT]
+
+
+def test_figure8_shred_dominates_data_shipping(runs):
+    times = runs[Strategy.DATA_SHIPPING].stats.times
+    assert times.shred > times.serialize
+    assert times.shred > times.remote_exec
+    # Fragment/projection eliminate document shredding entirely.
+    assert runs[Strategy.BY_FRAGMENT].stats.times.shred == 0.0
+
+
+def test_figure9_time_ordering(runs):
+    totals = {s: r.stats.times.total for s, r in runs.items()}
+    assert totals[Strategy.BY_FRAGMENT] < totals[Strategy.DATA_SHIPPING]
+    assert totals[Strategy.BY_PROJECTION] < totals[Strategy.BY_FRAGMENT]
+
+
+def test_fragment_and_projection_ship_no_documents(runs):
+    for strategy in (Strategy.BY_FRAGMENT, Strategy.BY_PROJECTION):
+        assert runs[strategy].stats.document_bytes == 0
+
+
+def test_by_value_still_ships_auctions_document(runs):
+    # Only the people path is decomposable by value; the auctions doc
+    # data-ships (its path uses descendant::, condition iii).
+    stats = runs[Strategy.BY_VALUE].stats
+    assert stats.documents_shipped == 1
+    assert stats.messages == 2
+
+
+def test_message_counts(runs):
+    assert runs[Strategy.DATA_SHIPPING].stats.messages == 0
+    assert runs[Strategy.BY_FRAGMENT].stats.messages == 4  # two calls

@@ -1,0 +1,134 @@
+"""Projection path analysis (Section VI-A) over decomposed queries."""
+
+from repro.paths.analysis import analyze_module
+from repro.paths.relpath import parse_rel_path
+from repro.xquery.ast import XRPCExpr, walk
+from repro.xquery.parser import parse_query
+
+
+def spec_for(query: str):
+    module = parse_query(query)
+    xrpc = next(e for e in walk(module.body) if isinstance(e, XRPCExpr))
+    return analyze_module(module)[id(xrpc)], xrpc
+
+
+class TestParamPaths:
+    def test_value_comparison_marks_used_with_text(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) '
+            "{ $p/child::id = 1 }")
+        used = {str(p) for p in spec.param_paths["p"].used}
+        assert "child::id" in used
+        assert "child::id/descendant::text()" in used
+        assert not spec.param_paths["p"].returned
+
+    def test_escaping_param_marks_returned(self):
+        spec, _ = spec_for('execute at {"B"} function ($p := $t) { $p }')
+        returned = {str(p) for p in spec.param_paths["p"].returned}
+        assert "self::node()" in returned
+
+    def test_path_result_escapes(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) { $p/child::a }')
+        returned = {str(p) for p in spec.param_paths["p"].returned}
+        assert "child::a" in returned
+
+    def test_flow_through_let_and_for(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) '
+            "{ let $x := $p/child::a return "
+            "for $y in $x return $y/child::b = 2 }")
+        used = {str(p) for p in spec.param_paths["p"].used}
+        assert "child::a/child::b" in used
+
+    def test_constructor_content_returned(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) '
+            "{ element wrap { $p/child::a } }")
+        returned = {str(p) for p in spec.param_paths["p"].returned}
+        assert "child::a" in returned
+
+    def test_reverse_axis_tracked(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) '
+            "{ $p/parent::x/child::y = 1 }")
+        used = {str(p) for p in spec.param_paths["p"].used}
+        assert "parent::x/child::y" in used
+
+    def test_root_function_becomes_pseudo_step(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) { root($p) }')
+        returned = {str(p) for p in spec.param_paths["p"].returned}
+        assert "root()" in returned
+
+    def test_predicate_marks_context_used(self):
+        spec, _ = spec_for(
+            'execute at {"B"} function ($p := $t) '
+            "{ count($p/child::a[child::b = 1]) }")
+        used = {str(p) for p in spec.param_paths["p"].used}
+        assert "child::a" in used
+        assert "child::a/child::b" in used
+
+
+class TestResultPaths:
+    def test_caller_steps_become_result_paths(self):
+        module = parse_query(
+            'declare function f() as node()* { doc("d.xml")/child::a };'
+            '(execute at {"B"} { f() })/child::grade')
+        xrpc = next(e for e in walk(module.body)
+                    if isinstance(e, XRPCExpr))
+        spec = analyze_module(module)[id(xrpc)]
+        returned = {str(p) for p in spec.result_paths.returned}
+        assert "child::grade" in returned
+
+    def test_parent_step_on_result(self):
+        """The Figure 5 makenodes() case: the caller navigates to
+        parent::a, so the response must ship the enclosing fragment."""
+        module = parse_query(
+            "declare function makenodes() as node() "
+            "{ <a><b><c/></b></a>/child::b };"
+            'let $bc := execute at {"p"} { makenodes() } '
+            "return $bc/parent::a")
+        xrpc = next(e for e in walk(module.body)
+                    if isinstance(e, XRPCExpr))
+        spec = analyze_module(module)[id(xrpc)]
+        returned = {str(p) for p in spec.result_paths.returned}
+        assert "parent::a" in returned
+
+    def test_query_result_marks_self_returned(self):
+        module = parse_query(
+            'declare function f() as node()* { doc("d.xml")/child::a };'
+            'execute at {"B"} { f() }')
+        xrpc = module.body
+        spec = analyze_module(module)[id(xrpc)]
+        assert "self::node()" in {str(p)
+                                  for p in spec.result_paths.returned}
+
+
+class TestBenchmarkSpecs:
+    def test_benchmark_projection_matches_paper(self):
+        """Section VII: parameter projection $t/attribute::id and
+        result projection annotation -> author."""
+        from repro.decompose import Strategy, decompose
+        from repro.workloads import BENCHMARK_QUERY
+
+        result = decompose(parse_query(BENCHMARK_QUERY),
+                           Strategy.BY_PROJECTION, local_host="local")
+        specs = analyze_module(result.module)
+        xrpcs = [e for e in walk(result.module.body)
+                 if isinstance(e, XRPCExpr)]
+        by_host = {x.dest.value: specs[id(x)] for x in xrpcs}
+
+        # peer1's result is consumed as $t/attribute::id (after code
+        # motion the path feeds the peer2 call's parameter, so the
+        # attributes are marked returned — for attribute nodes,
+        # returned and used project identically).
+        peer1_paths = {str(p) for p in (by_host["peer1"].result_paths.used
+                                        | by_host["peer1"]
+                                        .result_paths.returned)}
+        assert "attribute::id" in peer1_paths
+
+        # peer2 returns annotations; the caller applies /child::author.
+        peer2_returned = {str(p)
+                          for p in by_host["peer2"].result_paths.returned}
+        assert "child::author" in peer2_returned

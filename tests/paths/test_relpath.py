@@ -1,0 +1,69 @@
+"""Relative projection paths: Table V grammar, string round-trips,
+runtime evaluation (including the pseudo-steps)."""
+
+import pytest
+
+from repro.errors import XrpcMarshalError
+from repro.paths.relpath import RelPath, RelStep, parse_rel_path
+from repro.xmldb.parser import parse_document, parse_fragment
+
+
+def by_name(doc, name):
+    return next(n for n in doc.nodes() if n.name == name)
+
+
+class TestStringForm:
+    def test_empty_is_self(self):
+        assert str(RelPath()) == "self::node()"
+        assert parse_rel_path("self::node()") == RelPath()
+
+    def test_roundtrip(self):
+        path = RelPath((RelStep("child", "a"),
+                        RelStep("descendant", "text()"),
+                        RelStep("parent", "node()")))
+        assert parse_rel_path(str(path)) == path
+
+    def test_pseudo_steps(self):
+        path = RelPath((RelStep("root()"), RelStep("child", "a")))
+        assert str(path) == "root()/child::a"
+        assert parse_rel_path(str(path)) == path
+
+    def test_malformed_rejected(self):
+        with pytest.raises(XrpcMarshalError):
+            parse_rel_path("child:a")
+        with pytest.raises(XrpcMarshalError):
+            parse_rel_path("sideways::a")
+
+
+class TestEvaluation:
+    def test_forward_steps(self):
+        doc = parse_fragment("<a><b><c/></b><b><c/><c/></b></a>")
+        path = parse_rel_path("child::b/child::c")
+        assert len(path.evaluate([doc.root])) == 3
+
+    def test_reverse_step(self):
+        doc = parse_fragment("<a><b><c/></b></a>")
+        path = parse_rel_path("parent::node()")
+        assert path.evaluate([by_name(doc, "c")]) == [by_name(doc, "b")]
+
+    def test_result_sorted_deduplicated(self):
+        doc = parse_fragment("<a><b/><b/></a>")
+        path = parse_rel_path("parent::node()")
+        bs = [n for n in doc.nodes() if n.name == "b"]
+        assert path.evaluate(bs) == [doc.root]
+
+    def test_root_pseudo_step(self):
+        doc = parse_document("<a><b/></a>")
+        path = parse_rel_path("root()")
+        assert path.evaluate([by_name(doc, "b")]) == [doc.root]
+
+    def test_id_pseudo_step_conserves_all_id_elements(self):
+        doc = parse_document('<r><p id="1"/><q id="2"/><s/></r>')
+        path = parse_rel_path("id()")
+        names = {n.name for n in path.evaluate([doc.node(1)])}
+        assert names == {"p", "q"}
+
+    def test_atomics_in_context_ignored(self):
+        doc = parse_fragment("<a><b/></a>")
+        path = parse_rel_path("child::b")
+        assert len(path.evaluate([doc.root])) == 1

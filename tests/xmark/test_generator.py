@@ -1,0 +1,77 @@
+"""XMark generator: determinism, schema shape, linear scaling."""
+
+from repro.xmark import XMarkConfig, generate_auctions, generate_pair, \
+    generate_people
+from repro.xmldb.serializer import serialize
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_query
+
+
+def query(doc, text):
+    module = parse_query(text)
+    env = DynamicContext(resolve_doc=lambda uri: doc)
+    return Evaluator(module).evaluate(module.body, env)
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        first = generate_people(XMarkConfig(scale=0.002, seed=7))
+        second = generate_people(XMarkConfig(scale=0.002, seed=7))
+        assert serialize(first) == serialize(second)
+
+    def test_different_seed_differs(self):
+        first = generate_people(XMarkConfig(scale=0.002, seed=7))
+        second = generate_people(XMarkConfig(scale=0.002, seed=8))
+        assert serialize(first) != serialize(second)
+
+
+class TestSchema:
+    def test_people_shape(self):
+        doc = generate_people(XMarkConfig(scale=0.002))
+        persons = query(doc, 'doc("u")/site/people/person')
+        assert len(persons) == XMarkConfig(scale=0.002).person_count
+        ages = query(doc, 'doc("u")//person/age')
+        assert len(ages) == len(persons)
+        ids = query(doc, 'doc("u")//person/@id')
+        assert len(set(n.value for n in ids)) == len(persons)
+
+    def test_people_doc_carries_regions_and_categories(self):
+        doc = generate_people(XMarkConfig(scale=0.002))
+        assert query(doc, 'count(doc("u")/site/regions//item)')[0] > 0
+        assert query(doc, 'count(doc("u")/site/categories/category)')[0] > 0
+
+    def test_auctions_shape(self):
+        doc = generate_auctions(XMarkConfig(scale=0.002))
+        auctions = query(doc, 'doc("u")//open_auction')
+        assert len(auctions) == XMarkConfig(scale=0.002).auction_count
+        sellers = query(doc, 'doc("u")//open_auction/seller/@person')
+        assert len(sellers) == len(auctions)
+        authors = query(doc, 'doc("u")//annotation/author')
+        assert len(authors) == len(auctions)
+
+    def test_sellers_reference_real_persons(self):
+        people, auctions = generate_pair(0.002)
+        ids = {n.value for n in query(people, 'doc("u")//person/@id')}
+        sellers = {n.value
+                   for n in query(auctions, 'doc("u")//seller/@person')}
+        assert sellers <= ids
+
+    def test_age_filter_selects_a_real_subset(self):
+        doc = generate_people(XMarkConfig(scale=0.004))
+        young = query(doc, 'count(doc("u")//person[age < 40])')[0]
+        total = query(doc, 'count(doc("u")//person)')[0]
+        assert 0 < young < total
+
+
+class TestScaling:
+    def test_size_roughly_linear(self):
+        small = len(serialize(generate_people(XMarkConfig(scale=0.002))))
+        large = len(serialize(generate_people(XMarkConfig(scale=0.008))))
+        ratio = large / small
+        assert 2.5 < ratio < 6.0  # ~4x with generator noise
+
+    def test_minimum_counts(self):
+        config = XMarkConfig(scale=0.00001)
+        assert config.person_count >= 2
+        assert config.auction_count >= 2

@@ -1,0 +1,89 @@
+"""Node identity, document order, deep-equal."""
+
+from repro.xmldb.compare import (
+    deep_equal, is_same_node, node_after, node_before, sort_document_order,
+)
+from repro.xmldb.parser import parse_document, parse_fragment
+
+
+def by_name(doc, name):
+    return next(n for n in doc.nodes() if n.name == name)
+
+
+class TestIdentity:
+    def test_same_node(self):
+        doc = parse_document("<a><b/></a>")
+        assert is_same_node(by_name(doc, "b"), by_name(doc, "b"))
+
+    def test_equal_copies_are_not_same(self):
+        left = parse_document("<a><b/></a>")
+        right = parse_document("<a><b/></a>")
+        assert not is_same_node(by_name(left, "b"), by_name(right, "b"))
+        assert deep_equal(left.root, right.root)
+
+
+class TestOrder:
+    def test_within_document(self):
+        doc = parse_document("<a><b/><c/></a>")
+        assert node_before(by_name(doc, "b"), by_name(doc, "c"))
+        assert node_after(by_name(doc, "c"), by_name(doc, "b"))
+
+    def test_ancestor_before_descendant(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        assert node_before(by_name(doc, "a"), by_name(doc, "c"))
+
+    def test_across_documents_stable(self):
+        first = parse_document("<a/>")
+        second = parse_document("<b/>")
+        assert node_before(first.root, second.root)
+        assert not node_before(second.root, first.root)
+
+    def test_sort_dedup(self):
+        doc = parse_document("<a><b/><c/></a>")
+        b, c = by_name(doc, "b"), by_name(doc, "c")
+        assert sort_document_order([c, b, c, b]) == [b, c]
+
+
+class TestDeepEqual:
+    def test_attribute_order_irrelevant(self):
+        left = parse_document('<a x="1" y="2"/>')
+        right = parse_document('<a y="2" x="1"/>')
+        assert deep_equal(left.root, right.root)
+
+    def test_attribute_value_matters(self):
+        left = parse_document('<a x="1"/>')
+        right = parse_document('<a x="2"/>')
+        assert not deep_equal(left.root, right.root)
+
+    def test_comments_ignored(self):
+        left = parse_document("<a><b/><!--x--></a>")
+        right = parse_document("<a><b/></a>")
+        assert deep_equal(left.root, right.root)
+
+    def test_text_compared(self):
+        assert not deep_equal(parse_document("<a>x</a>").root,
+                              parse_document("<a>y</a>").root)
+
+    def test_element_vs_document_root_not_equal(self):
+        # fn:deep-equal requires matching node kinds (XQuery F&O 15.3.1);
+        # compare the fragment against the document's root *element*.
+        doc = parse_document("<a><b/></a>")
+        frag = parse_fragment("<a><b/></a>")
+        assert not deep_equal(doc.root, frag.root)
+        assert deep_equal(doc.node(1), frag.root)
+
+    def test_child_order_matters(self):
+        left = parse_document("<a><b/><c/></a>")
+        right = parse_document("<a><c/><b/></a>")
+        assert not deep_equal(left.root, right.root)
+
+    def test_names_matter(self):
+        assert not deep_equal(parse_document("<a/>").root,
+                              parse_document("<b/>").root)
+
+    def test_attribute_nodes(self):
+        doc = parse_document('<a x="1" y="1"/>')
+        x = next(n for n in doc.nodes() if n.name == "x")
+        y = next(n for n in doc.nodes() if n.name == "y")
+        assert not deep_equal(x, y)  # names differ
+        assert deep_equal(x, x)

@@ -1,0 +1,179 @@
+"""Unit tests for the pre/size/level store and its builder."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.xmldb.document import Document, DocumentBuilder, \
+    build_fragment_from_nodes
+from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.parser import parse_document
+
+
+def build_simple():
+    builder = DocumentBuilder("t.xml")
+    builder.start_document()
+    builder.start_element("a")
+    builder.attribute("x", "1")
+    builder.start_element("b")
+    builder.text("hello")
+    builder.end_element()
+    builder.start_element("c")
+    builder.end_element()
+    builder.end_element()
+    builder.end_document()
+    return builder.finish()
+
+
+class TestBuilder:
+    def test_sizes_are_descendant_counts(self):
+        doc = build_simple()
+        # doc node spans everything below it
+        assert doc.sizes[0] == len(doc) - 1
+        a = doc.node(1)
+        assert a.name == "a"
+        assert a.size == len(doc) - 2  # everything except doc node + a
+
+    def test_levels(self):
+        doc = build_simple()
+        assert doc.levels[0] == 0
+        assert doc.node(1).level == 1      # a
+        assert doc.node(2).level == 2      # @x
+        assert doc.node(3).level == 2      # b
+
+    def test_parents(self):
+        doc = build_simple()
+        assert doc.node(1).parent().kind == NodeKind.DOCUMENT
+        assert doc.node(2).parent().name == "a"
+        assert doc.root.parent() is None
+
+    def test_attribute_after_content_rejected(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("x")
+        with pytest.raises(XmlError):
+            builder.attribute("late", "1")
+
+    def test_attribute_outside_element_rejected(self):
+        builder = DocumentBuilder()
+        with pytest.raises(XmlError):
+            builder.attribute("x", "1")
+
+    def test_unbalanced_rejected(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        with pytest.raises(XmlError):
+            builder.finish()
+
+    def test_double_finish_rejected(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.end_element()
+        builder.finish()
+        with pytest.raises(XmlError):
+            builder.finish()
+
+    def test_adjacent_text_merged(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("one")
+        builder.text(" two")
+        builder.end_element()
+        doc = builder.finish()
+        texts = [doc.values[p] for p in range(len(doc))
+                 if doc.kinds[p] == NodeKind.TEXT]
+        assert texts == ["one two"]
+
+    def test_empty_text_skipped(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.text("")
+        builder.end_element()
+        assert len(builder.finish()) == 1
+
+    def test_fragment_has_no_document_node(self):
+        builder = DocumentBuilder()
+        builder.start_element("a")
+        builder.end_element()
+        doc = builder.finish()
+        assert doc.is_fragment
+        assert doc.root.kind == NodeKind.ELEMENT
+
+
+class TestCopySubtree:
+    def test_copy_creates_fresh_identity(self):
+        source = build_simple()
+        b = next(n for n in source.nodes() if n.name == "b")
+        builder = DocumentBuilder("copy")
+        builder.copy_subtree(b)
+        copy_doc = builder.finish()
+        assert copy_doc.root.name == "b"
+        assert copy_doc.root != b  # identity differs
+        assert copy_doc.root.string_value() == b.string_value()
+
+    def test_copy_preserves_structure(self):
+        source = build_simple()
+        a = source.node(1)
+        builder = DocumentBuilder("copy")
+        builder.copy_subtree(a)
+        copy_doc = builder.finish()
+        assert copy_doc.sizes[0] == a.size
+        assert copy_doc.names[0] == "a"
+        # Attribute came along.
+        assert copy_doc.kinds[1] == NodeKind.ATTRIBUTE
+        assert copy_doc.values[1] == "1"
+
+    def test_copy_levels_rebased(self):
+        source = build_simple()
+        b = next(n for n in source.nodes() if n.name == "b")
+        builder = DocumentBuilder("copy")
+        builder.start_element("wrap")
+        builder.copy_subtree(b)
+        builder.end_element()
+        doc = builder.finish()
+        assert doc.levels[0] == 0   # wrap
+        assert doc.levels[1] == 1   # b
+        assert doc.levels[2] == 2   # text
+
+
+class TestIdIndex:
+    def test_element_by_id(self):
+        doc = parse_document('<r><p id="p1"/><p id="p2"/></r>')
+        assert doc.element_by_id("p1").name == "p"
+        assert doc.element_by_id("missing") is None
+
+    def test_idref_heuristic(self):
+        doc = parse_document(
+            '<r><a person="p1"/><p id="p1"/><b ref="p1"/></r>')
+        owners = {n.name for n in doc.elements_by_idref("p1")}
+        assert owners == {"a", "b"}
+
+
+class TestFragmentFromNodes:
+    def test_single_element_becomes_root(self):
+        doc = parse_document("<r><a><b/></a></r>")
+        a = next(n for n in doc.nodes() if n.name == "a")
+        frag = build_fragment_from_nodes("f", [a])
+        assert frag.root.name == "a"
+
+    def test_multiple_nodes_wrapped(self):
+        doc = parse_document("<r><a/><b/></r>")
+        nodes = [n for n in doc.nodes() if n.name in ("a", "b")]
+        frag = build_fragment_from_nodes("f", nodes)
+        assert frag.root.name == "xrpc:sequence"
+        assert frag.sizes[0] == 2
+
+
+class TestDocument:
+    def test_empty_rejected(self):
+        with pytest.raises(XmlError):
+            Document("u", [], [], [], [], [], [])
+
+    def test_node_range_checked(self):
+        doc = build_simple()
+        with pytest.raises(XmlError):
+            doc.node(999)
+
+    def test_doc_seq_monotonic(self):
+        first = build_simple()
+        second = build_simple()
+        assert second.doc_seq > first.doc_seq

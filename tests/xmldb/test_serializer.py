@@ -1,0 +1,51 @@
+"""Serializer unit tests: escaping, node kinds, attribute handling."""
+
+from repro.xmldb import axes
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import (
+    escape_attribute, escape_text, serialize, serialize_node,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; <go>".replace("<go>", "&lt;go>")
+
+    def test_text_keeps_quotes(self):
+        assert escape_text('"quoted"') == '"quoted"'
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse_document("<a/>")) == "<a/>"
+
+    def test_attributes_in_order(self):
+        assert serialize(parse_document('<a b="1" c="2"/>')) == \
+            '<a b="1" c="2"/>'
+
+    def test_mixed_content(self):
+        xml = "<a>one<b>two</b>three</a>"
+        assert serialize(parse_document(xml)) == xml
+
+    def test_comment_and_pi(self):
+        xml = "<a><!--note--><?pi data?></a>"
+        assert serialize(parse_document(xml)) == xml
+
+    def test_serialize_subtree(self):
+        doc = parse_document("<a><b><c/></b></a>")
+        b = next(n for n in doc.nodes() if n.name == "b")
+        assert serialize_node(b) == "<b><c/></b>"
+
+    def test_serialize_text_node(self):
+        doc = parse_document("<a>x &amp; y</a>")
+        text = next(axes.axis_step(doc.node(1), "child", "text()"))
+        assert serialize_node(text) == "x &amp; y"
+
+    def test_serialize_attribute_gives_value(self):
+        doc = parse_document('<a x="v"/>')
+        attr = next(axes.attribute(doc.node(1)))
+        assert serialize_node(attr) == "v"

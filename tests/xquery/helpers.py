@@ -1,0 +1,31 @@
+"""Evaluation helpers shared by the xquery test modules."""
+
+from __future__ import annotations
+
+from repro.xmldb.document import Document
+from repro.xmldb.parser import parse_document
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_query
+
+
+def run(query: str, docs: dict[str, str | Document] | None = None) -> list:
+    """Parse and evaluate a query against in-memory documents."""
+    store: dict[str, Document] = {}
+    for uri, content in (docs or {}).items():
+        store[uri] = (content if isinstance(content, Document)
+                      else parse_document(content, uri=uri))
+
+    def resolve(uri: str) -> Document:
+        return store[uri]
+
+    module = parse_query(query)
+    env = DynamicContext(resolve_doc=resolve)
+    return Evaluator(module).evaluate(module.body, env)
+
+
+def run1(query: str, docs: dict[str, str] | None = None):
+    """Evaluate and assert a singleton result; return the item."""
+    result = run(query, docs)
+    assert len(result) == 1, f"expected singleton, got {result!r}"
+    return result[0]

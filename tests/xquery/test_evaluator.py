@@ -1,0 +1,273 @@
+"""Evaluator tests: expressions, paths, FLWOR, node semantics."""
+
+import pytest
+
+from repro.errors import (
+    UndefinedVariableError, XQueryDynamicError, XQueryTypeError,
+)
+from repro.xmldb.node import Node
+from repro.xquery.xdm import serialize_sequence
+
+from tests.xquery.helpers import run, run1
+
+PEOPLE = """<people>
+ <person id="p1"><name>Ann</name><age>30</age></person>
+ <person id="p2"><name>Bob</name><age>55</age></person>
+ <person id="p3"><name>Col</name><age>41</age></person>
+</people>"""
+
+
+class TestBasics:
+    def test_literals(self):
+        assert run1("42") == 42
+        assert run1('"x"') == "x"
+        assert run1("2.5") == 2.5
+
+    def test_sequence_flattens(self):
+        assert run("(1, (2, 3), ())") == [1, 2, 3]
+
+    def test_arithmetic(self):
+        assert run1("1 + 2 * 3") == 7
+        assert run1("7 idiv 2") == 3
+        assert run1("7 mod 2") == 1
+        assert run1("1 div 4") == 0.25
+        assert run1("-(3)") == -3
+
+    def test_arithmetic_with_empty_is_empty(self):
+        assert run("1 + ()") == []
+
+    def test_division_by_zero(self):
+        with pytest.raises(XQueryDynamicError):
+            run("1 div 0")
+
+    def test_range(self):
+        assert run("1 to 4") == [1, 2, 3, 4]
+        assert run("3 to 1") == []
+
+    def test_logical_short_circuit(self):
+        # The error in the right operand is skipped.
+        assert run1('fn:false() and fn:error("boom")') is False
+        assert run1('fn:true() or fn:error("boom")') is True
+
+    def test_comparison_existential(self):
+        assert run1("(1, 2, 3) = 3") is True
+        assert run1("(1, 2) = (4, 5)") is False
+        assert run1("() = 1") is False
+
+    def test_untyped_compares_numerically(self):
+        result = run1('doc("d")/a/b < 10', {"d": "<a><b>9</b></a>"})
+        assert result is True
+
+    def test_string_comparison(self):
+        assert run1('"abc" < "abd"') is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(XQueryTypeError):
+            run('"x" < 1')
+
+    def test_undefined_variable(self):
+        with pytest.raises(UndefinedVariableError):
+            run("$nope")
+
+
+class TestFlwor:
+    def test_for_iterates(self):
+        assert run("for $x in (1, 2, 3) return $x * 2") == [2, 4, 6]
+
+    def test_for_with_position(self):
+        assert run("for $x at $i in (9, 9) return $i") == [1, 2]
+
+    def test_let_binds_once(self):
+        assert run("let $x := (1, 2) return ($x, $x)") == [1, 2, 1, 2]
+
+    def test_where_filters(self):
+        assert run("for $x in (1, 2, 3, 4) where $x > 2 return $x") == [3, 4]
+
+    def test_order_by(self):
+        assert run("for $x in (3, 1, 2) order by $x return $x") == [1, 2, 3]
+
+    def test_order_by_descending(self):
+        assert run("for $x in (3, 1, 2) order by $x descending return $x") \
+            == [3, 2, 1]
+
+    def test_order_by_key_expression(self):
+        result = run(
+            'for $p in doc("d")//person order by $p/age return $p/name',
+            {"d": PEOPLE})
+        assert serialize_sequence(result) == \
+            "<name>Ann</name> <name>Col</name> <name>Bob</name>"
+
+    def test_order_by_stable_for_equal_keys(self):
+        assert run('for $x in ("b1", "a1", "b2") '
+                   "order by substring($x, 1, 1) return $x") \
+            == ["a1", "b1", "b2"]
+
+    def test_quantified_some_every(self):
+        assert run1("some $x in (1, 2) satisfies $x = 2") is True
+        assert run1("every $x in (1, 2) satisfies $x = 2") is False
+        assert run1("every $x in () satisfies $x = 99") is True
+
+    def test_shadowing(self):
+        assert run("let $x := 1 return (for $x in (2, 3) return $x, $x)") \
+            == [2, 3, 1]
+
+
+class TestPaths:
+    def test_child_steps(self):
+        result = run('doc("d")/people/person/name', {"d": PEOPLE})
+        assert len(result) == 3
+
+    def test_descendant_shortcut(self):
+        result = run('doc("d")//age', {"d": PEOPLE})
+        assert [n.string_value() for n in result] == ["30", "55", "41"]
+
+    def test_attribute_step(self):
+        result = run('doc("d")//person/@id', {"d": PEOPLE})
+        assert [n.value for n in result] == ["p1", "p2", "p3"]
+
+    def test_result_in_document_order_and_deduplicated(self):
+        # Both steps reach the same b nodes: duplicates must vanish.
+        result = run('(doc("d")//b, doc("d")/a/b)/c',
+                     {"d": "<a><b><c/></b><b><c/></b></a>"})
+        assert len(result) == 2
+
+    def test_positional_predicate(self):
+        result = run1('doc("d")//person[2]/name', {"d": PEOPLE})
+        assert result.string_value() == "Bob"
+
+    def test_boolean_predicate(self):
+        result = run('doc("d")//person[age > 40]/name', {"d": PEOPLE})
+        assert [n.string_value() for n in result] == ["Bob", "Col"]
+
+    def test_predicate_with_position_function(self):
+        result = run('doc("d")//person[position() > 1]/@id', {"d": PEOPLE})
+        assert [n.value for n in result] == ["p2", "p3"]
+
+    def test_predicate_with_last(self):
+        result = run1('doc("d")//person[last()]/@id', {"d": PEOPLE})
+        assert result.value == "p3"
+
+    def test_parent_step(self):
+        result = run('doc("d")//age/parent::person/@id', {"d": PEOPLE})
+        assert len(result) == 3
+
+    def test_path_over_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            run("(1, 2)/child::a")
+
+    def test_reverse_axis_result_still_document_order(self):
+        result = run('doc("d")//c/ancestor::*',
+                     {"d": "<a><b><c/></b></a>"})
+        assert [n.name for n in result] == ["a", "b"]
+
+
+class TestNodeSemantics:
+    def test_is_identity(self):
+        assert run1('let $d := doc("d") return $d//b is $d//b',
+                    {"d": "<a><b/></a>"}) is True
+
+    def test_is_differs_for_copies(self):
+        assert run1("<a/> is <a/>") is False
+
+    def test_order_comparisons(self):
+        docs = {"d": "<a><b/><c/></a>"}
+        assert run1('doc("d")//b << doc("d")//c', docs) is True
+        assert run1('doc("d")//c >> doc("d")//b', docs) is True
+
+    def test_node_comparison_empty_operand(self):
+        assert run("() is ()") == []
+
+    def test_node_comparison_requires_nodes(self):
+        with pytest.raises(XQueryTypeError):
+            run("1 is 2")
+
+    def test_union_orders_and_dedups(self):
+        result = run('let $d := doc("d") return $d//c union $d//b',
+                     {"d": "<a><b/><c/></a>"})
+        assert [n.name for n in result] == ["b", "c"]
+
+    def test_intersect_by_identity(self):
+        result = run('let $d := doc("d") return ($d//b) intersect ($d/a/b)',
+                     {"d": "<a><b/></a>"})
+        assert len(result) == 1
+
+    def test_except(self):
+        result = run('let $d := doc("d") return $d//* except $d//b',
+                     {"d": "<a><b/><c/></a>"})
+        assert [n.name for n in result] == ["a", "c"]
+
+    def test_intersect_of_copies_is_empty(self):
+        # Copies have fresh identity: Problem 2 of the paper.
+        assert run("(<a/>) intersect (<a/>)") == []
+
+
+class TestControl:
+    def test_if_ebv(self):
+        assert run1("if (()) then 1 else 2") == 2
+        assert run1('if ("x") then 1 else 2') == 1
+
+    def test_typeswitch_dispatch(self):
+        query = ("typeswitch ({}) case xs:integer return \"int\" "
+                 "case xs:string return \"str\" default return \"other\"")
+        assert run1(query.format("1")) == "int"
+        assert run1(query.format('"s"')) == "str"
+        assert run1(query.format("1.5")) == "other"
+
+    def test_typeswitch_binds_variable(self):
+        assert run1("typeswitch (5) case $i as xs:integer return $i + 1 "
+                    "default return 0") == 6
+
+    def test_typeswitch_node_case(self):
+        assert run1("typeswitch (<a/>) case node() return 1 "
+                    "default return 2") == 1
+
+
+class TestConstructors:
+    def test_direct_element(self):
+        node = run1("<a><b>x</b></a>")
+        assert isinstance(node, Node)
+        assert node.string_value() == "x"
+
+    def test_computed_element_with_content(self):
+        node = run1('element res { 1, "two" }')
+        assert node.name == "res"
+        assert node.string_value() == "1 two"
+
+    def test_computed_name(self):
+        node = run1('element { concat("a", "b") } { () }')
+        assert node.name == "ab"
+
+    def test_attribute_constructor(self):
+        node = run1('attribute id { "v" }')
+        assert node.name == "id" and node.value == "v"
+
+    def test_text_constructor(self):
+        node = run1("text { 1, 2 }")
+        assert node.value == "1 2"
+
+    def test_copied_content_gets_fresh_identity(self):
+        assert run1('let $b := <b/> let $a := <a>{ $b }</a> '
+                    "return $a/b is $b") is False
+
+    def test_attribute_item_attaches(self):
+        node = run1('element e { attribute x { "1" }, "body" }')
+        from repro.xmldb.serializer import serialize_node
+        assert serialize_node(node) == '<e x="1">body</e>'
+
+    def test_constructed_per_iteration_distinct(self):
+        assert run1("count((for $i in (1, 2) return <a/>) "
+                    "intersect (for $i in (1, 2) return <a/>))") == 0
+
+
+class TestFunctions:
+    def test_user_function(self):
+        assert run1("""
+            declare function local:fact($n as xs:integer) as xs:integer
+            { if ($n <= 1) then 1 else $n * local:fact($n - 1) };
+            local:fact(5)""") == 120
+
+    def test_function_scope_is_fresh(self):
+        with pytest.raises(UndefinedVariableError):
+            run("""
+                declare function f() as item()* { $outer };
+                let $outer := 1 return f()""")

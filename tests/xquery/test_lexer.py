@@ -1,0 +1,91 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import Lexer, TokenType
+
+
+def tokens(text):
+    lexer = Lexer(text)
+    out = []
+    while True:
+        token = lexer.next()
+        if token.type == TokenType.END:
+            return out
+        out.append(token)
+
+
+class TestBasics:
+    def test_names_and_symbols(self):
+        out = tokens("for $x in doc")
+        assert [t.type for t in out] == [
+            TokenType.NAME, TokenType.VARIABLE, TokenType.NAME,
+            TokenType.NAME]
+
+    def test_variable_name(self):
+        (token,) = tokens("$course-name")
+        assert token.type == TokenType.VARIABLE
+        assert token.text == "course-name"
+
+    def test_qname_with_prefix(self):
+        (token,) = tokens("fn:doc")
+        assert token.text == "fn:doc"
+
+    def test_axis_separator_not_swallowed(self):
+        out = tokens("child::person")
+        assert [t.text for t in out] == ["child", "::", "person"]
+
+    def test_numbers(self):
+        out = tokens("42 3.14 1e3 2.5E-2")
+        assert [t.type for t in out] == [
+            TokenType.INTEGER, TokenType.DOUBLE, TokenType.DOUBLE,
+            TokenType.DOUBLE]
+        assert out[0].value == 42
+        assert out[1].value == pytest.approx(3.14)
+
+    def test_integer_then_range(self):
+        out = tokens("1 to 5")
+        assert [t.text for t in out] == ["1", "to", "5"]
+
+    def test_strings_with_escapes(self):
+        out = tokens('"say ""hi""" \'it\'\'s\'')
+        assert out[0].value == 'say "hi"'
+        assert out[1].value == "it's"
+
+    def test_multichar_symbols(self):
+        out = tokens("<< >> != <= >= := // ::")
+        assert [t.text for t in out] == [
+            "<<", ">>", "!=", "<=", ">=", ":=", "//", "::"]
+
+    def test_comments_skipped(self):
+        out = tokens("a (: comment (: nested :) :) b")
+        assert [t.text for t in out] == ["a", "b"]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens('"open')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens("(: open")
+
+    def test_bad_variable(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens("$ 1")
+
+    def test_offsets_recorded(self):
+        out = tokens("ab   cd")
+        assert out[0].offset == 0
+        assert out[1].offset == 5
+
+
+class TestReset:
+    def test_reset_repositions(self):
+        lexer = Lexer("one two three")
+        lexer.next()
+        lexer.peek(1)  # fill buffer
+        lexer.reset(4)
+        assert lexer.next().text == "two"

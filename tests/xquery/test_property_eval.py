@@ -1,0 +1,89 @@
+"""Property-based evaluator invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.xquery.helpers import run
+
+_ints = st.integers(-50, 50)
+_small = st.integers(1, 12)
+
+
+@given(st.lists(_ints, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_sequence_construction_flattens(values):
+    literal = ", ".join(str(v) for v in values)
+    assert run(f"({literal})") == values
+
+
+@given(_ints, _ints)
+@settings(max_examples=50, deadline=None)
+def test_arithmetic_matches_python(a, b):
+    assert run(f"{a} + {b}")[0] == a + b
+    assert run(f"{a} - {b}")[0] == a - b
+    assert run(f"{a} * {b}")[0] == a * b
+
+
+@given(_ints, _ints)
+@settings(max_examples=50, deadline=None)
+def test_comparison_total_order(a, b):
+    less = run(f"{a} < {b}")[0]
+    equal = run(f"{a} = {b}")[0]
+    greater = run(f"{a} > {b}")[0]
+    assert [less, equal, greater].count(True) == 1
+
+
+@given(_small, _small)
+@settings(max_examples=30, deadline=None)
+def test_range_length(lo, extra):
+    hi = lo + extra
+    assert run(f"count({lo} to {hi})") == [extra + 1]
+
+
+@given(st.lists(_ints, min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_for_is_map(values):
+    literal = ", ".join(str(v) for v in values)
+    assert run(f"for $x in ({literal}) return $x * 2") == \
+        [v * 2 for v in values]
+
+
+@given(st.lists(_ints, min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_aggregates_match_python(values):
+    literal = ", ".join(str(v) for v in values)
+    assert run(f"sum(({literal}))")[0] == sum(values)
+    assert run(f"max(({literal}))")[0] == max(values)
+    assert run(f"min(({literal}))")[0] == min(values)
+    assert run(f"count(({literal}))")[0] == len(values)
+
+
+@given(st.lists(_ints, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_reverse_involution(values):
+    literal = ", ".join(str(v) for v in values)
+    wrapped = f"({literal})" if values else "()"
+    assert run(f"reverse(reverse({wrapped}))") == values
+
+
+@given(st.lists(_ints, min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_order_by_sorts(values):
+    literal = ", ".join(str(v) for v in values)
+    assert run(f"for $x in ({literal}) order by $x return $x") == \
+        sorted(values)
+
+
+@given(st.lists(_ints, min_size=1, max_size=5), _ints)
+@settings(max_examples=40, deadline=None)
+def test_general_comparison_is_existential(values, needle):
+    literal = ", ".join(str(v) for v in values)
+    assert run(f"({literal}) = {needle}")[0] == (needle in values)
+
+
+@given(st.lists(_ints, min_size=1, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_quantifiers_dual(values):
+    literal = ", ".join(str(v) for v in values)
+    some_neg = run(f"some $x in ({literal}) satisfies $x < 0")[0]
+    every_nonneg = run(f"every $x in ({literal}) satisfies $x >= 0")[0]
+    assert some_neg == (not every_nonneg)

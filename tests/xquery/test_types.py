@@ -1,0 +1,69 @@
+"""Sequence-type matching (typeswitch / signature subset)."""
+
+import pytest
+
+from repro.xmldb.parser import parse_document, parse_fragment
+from repro.xquery.types import matches_sequence_type, split_occurrence
+from repro.xquery.xdm import UntypedAtomic
+
+
+@pytest.fixture
+def doc():
+    return parse_document('<a x="1">t</a>')
+
+
+class TestOccurrence:
+    def test_split(self):
+        assert split_occurrence("node()*") == ("node()", "*")
+        assert split_occurrence("xs:string?") == ("xs:string", "?")
+        assert split_occurrence("item()") == ("item()", "")
+        assert split_occurrence("element(p)+") == ("element(p)", "+")
+
+    def test_empty_sequence_matching(self):
+        assert matches_sequence_type([], "empty-sequence()")
+        assert matches_sequence_type([], "node()*")
+        assert matches_sequence_type([], "node()?")
+        assert not matches_sequence_type([], "node()")
+        assert not matches_sequence_type([], "node()+")
+
+    def test_cardinality(self):
+        assert matches_sequence_type([1, 2], "xs:integer*")
+        assert matches_sequence_type([1, 2], "xs:integer+")
+        assert not matches_sequence_type([1, 2], "xs:integer?")
+        assert not matches_sequence_type([1, 2], "xs:integer")
+
+
+class TestItemTypes:
+    def test_item_matches_everything(self, doc):
+        for value in (1, "s", True, 2.5, doc.root):
+            assert matches_sequence_type([value], "item()")
+
+    def test_node_kinds(self, doc):
+        element = doc.node(1)
+        attr = doc.node(2)
+        text = doc.node(3)
+        assert matches_sequence_type([element], "node()")
+        assert matches_sequence_type([element], "element()")
+        assert matches_sequence_type([element], "element(a)")
+        assert not matches_sequence_type([element], "element(b)")
+        assert matches_sequence_type([attr], "attribute(x)")
+        assert matches_sequence_type([text], "text()")
+        assert matches_sequence_type([doc.root], "document-node()")
+        assert not matches_sequence_type([doc.root], "element()")
+
+    def test_atomic_types(self):
+        assert matches_sequence_type([1], "xs:integer")
+        assert matches_sequence_type([1], "xs:double")  # promotion
+        assert not matches_sequence_type([1.5], "xs:integer")
+        assert matches_sequence_type(["s"], "xs:string")
+        assert matches_sequence_type([True], "xs:boolean")
+        assert not matches_sequence_type([True], "xs:integer")
+        assert matches_sequence_type([UntypedAtomic("u")],
+                                     "xs:untypedAtomic")
+
+    def test_unknown_type_never_matches(self):
+        assert not matches_sequence_type([1], "xs:duration")
+
+    def test_mixed_sequence(self, doc):
+        assert matches_sequence_type([doc.node(1), doc.node(3)], "node()*")
+        assert not matches_sequence_type([doc.node(1), 1], "node()*")

@@ -1,0 +1,165 @@
+"""Marshalling semantics: exactly the behaviours Sections II, V and VI
+attribute to pass-by-value, pass-by-fragment and pass-by-projection."""
+
+from repro.paths.analysis import PathSets
+from repro.paths.relpath import parse_rel_path
+from repro.xmldb.compare import is_same_node, node_before
+from repro.xmldb.parser import parse_fragment
+from repro.xrpc.marshal import marshal_calls, unmarshal_calls
+from repro.xrpc.messages import NodeRef
+
+
+def by_name(doc, name):
+    return next(n for n in doc.nodes() if n.name == name)
+
+
+def ship(calls, semantics, param_paths=None):
+    """Marshal + unmarshal one request (the full copy pipeline)."""
+    bundle = marshal_calls(calls, semantics, param_paths)
+    return unmarshal_calls(bundle.calls, bundle.fragments, "msg")
+
+
+class TestByValue:
+    def test_nodes_become_independent_copies(self):
+        doc = parse_fragment("<a><b><c/></b></a>")
+        b = by_name(doc, "b")
+        (call,) = ship([[("l", [b]), ("r", [b])]], "by-value")
+        left = call[0][1][0]
+        right = call[1][1][0]
+        # Problem 2: the same node arrives as two distinct copies.
+        assert not is_same_node(left, right)
+        assert left.string_value() == right.string_value()
+
+    def test_parent_lost(self):
+        doc = parse_fragment("<a><b><c/></b></a>")
+        (call,) = ship([[("p", [by_name(doc, "b")])]], "by-value")
+        shipped = call[0][1][0]
+        # Problem 1: only descendants travel.
+        assert shipped.parent() is None
+
+    def test_order_is_parameter_order(self):
+        doc = parse_fragment("<a><b/></a>")
+        a, b = by_name(doc, "a"), by_name(doc, "b")
+        # Ship the *descendant* first: pass-by-value cannot preserve
+        # the original order between parameters (Problem 3).
+        (call,) = ship([[("l", [b]), ("r", [a])]], "by-value")
+        assert node_before(call[0][1][0], call[1][1][0])
+
+    def test_atomics_roundtrip(self):
+        (call,) = ship([[("p", [1, "x", True, 2.5])]], "by-value")
+        assert call[0][1] == [1, "x", True, 2.5]
+
+    def test_attribute_copy(self):
+        doc = parse_fragment('<a id="v"/>')
+        attr = next(n for n in doc.nodes() if n.name == "id")
+        (call,) = ship([[("p", [attr])]], "by-value")
+        shipped = call[0][1][0]
+        assert shipped.name == "id" and shipped.value == "v"
+
+
+class TestByFragment:
+    def test_identity_preserved_within_message(self):
+        doc = parse_fragment("<a><b><c/></b></a>")
+        b = by_name(doc, "b")
+        (call,) = ship([[("l", [b]), ("r", [b])]], "by-fragment")
+        assert is_same_node(call[0][1][0], call[1][1][0])
+
+    def test_containment_not_serialized_twice(self):
+        """Figure 4: $bc is inside $abc's fragment — one fragment."""
+        doc = parse_fragment("<a><b><c/></b></a>")
+        a, b = by_name(doc, "a"), by_name(doc, "b")
+        bundle = marshal_calls([[("bc", [b]), ("abc", [a])]],
+                               "by-fragment")
+        assert bundle.fragments == ["<a><b><c/></b></a>"]
+        # $bc references node 2 ($abc node 1), as in Figure 4.
+        assert bundle.calls[0].params[0][1] == [NodeRef(1, 2)]
+        assert bundle.calls[0].params[1][1] == [NodeRef(1, 1)]
+
+    def test_order_and_ancestry_preserved(self):
+        doc = parse_fragment("<a><b><c/></b></a>")
+        a, b = by_name(doc, "a"), by_name(doc, "b")
+        (call,) = ship([[("l", [b]), ("r", [a])]], "by-fragment")
+        left, right = call[0][1][0], call[1][1][0]
+        # Problem 3 fixed: the parent still precedes the child.
+        assert node_before(right, left)
+        assert right.is_ancestor_of(left)
+
+    def test_disjoint_nodes_share_forest_fragment(self):
+        doc = parse_fragment("<r><a/><b/></r>")
+        a, b = by_name(doc, "a"), by_name(doc, "b")
+        (call,) = ship([[("l", [a]), ("r", [b])]], "by-fragment")
+        left, right = call[0][1][0], call[1][1][0]
+        assert left.doc is right.doc  # one fragment space
+        assert node_before(left, right)
+
+    def test_attribute_referenced_via_owner(self):
+        doc = parse_fragment('<a id="7"><b/></a>')
+        attr = next(n for n in doc.nodes() if n.name == "id")
+        (call,) = ship([[("p", [attr]), ("q", [by_name(doc, "a")])]],
+                       "by-fragment")
+        shipped = call[0][1][0]
+        assert shipped.name == "id" and shipped.value == "7"
+        assert shipped.parent() == call[1][1][0]
+
+    def test_multiple_source_documents(self):
+        left = parse_fragment("<l><x/></l>")
+        right = parse_fragment("<r><y/></r>")
+        bundle = marshal_calls(
+            [[("a", [by_name(left, "x")]), ("b", [by_name(right, "y")])]],
+            "by-fragment")
+        assert len(bundle.fragments) == 2
+
+    def test_bulk_calls_share_fragment_space(self):
+        doc = parse_fragment("<a><b/><c/></a>")
+        calls = [[("p", [by_name(doc, "b")])],
+                 [("p", [by_name(doc, "c")])]]
+        out = ship(calls, "by-fragment")
+        assert out[0][0][1][0].doc is out[1][0][1][0].doc
+
+
+class TestByProjection:
+    def test_used_paths_keep_anchor_without_descendants(self):
+        doc = parse_fragment("<a><p><id>1</id><big><x/><y/></big></p></a>")
+        p = by_name(doc, "p")
+        paths = {"t": PathSets(
+            used={parse_rel_path("child::id"),
+                  parse_rel_path("child::id/descendant::text()")})}
+        bundle = marshal_calls([[("t", [p])]], "by-projection", paths)
+        assert "<big>" not in bundle.fragments[0]
+        assert "<id>1</id>" in bundle.fragments[0]
+
+    def test_returned_paths_keep_subtrees(self):
+        doc = parse_fragment("<a><p><keep><deep/></keep><drop/></p></a>")
+        p = by_name(doc, "p")
+        paths = {"t": PathSets(returned={parse_rel_path("child::keep")})}
+        bundle = marshal_calls([[("t", [p])]], "by-projection", paths)
+        assert "<deep/>" in bundle.fragments[0]
+        assert "<drop/>" not in bundle.fragments[0]
+
+    def test_ancestors_preserved_for_reverse_axes(self):
+        """Figure 5: the b node travels with its enclosing a."""
+        doc = parse_fragment("<a><b><c/></b></a>")
+        b = by_name(doc, "b")
+        paths = {"r": PathSets(returned={parse_rel_path("parent::a")})}
+        bundle = marshal_calls([[("r", [b])]], "by-projection", paths)
+        assert bundle.fragments == ["<a><b><c/></b></a>"]
+        (call,) = unmarshal_calls(bundle.calls, bundle.fragments, "m")
+        shipped = call[0][1][0]
+        assert shipped.name == "b"
+        assert shipped.parent() is not None
+        assert shipped.parent().name == "a"
+
+    def test_projection_smaller_than_fragment(self):
+        doc = parse_fragment(
+            "<a><p><id>1</id>" + "<filler>x</filler>" * 50 + "</p></a>")
+        p = by_name(doc, "p")
+        fragment = marshal_calls([[("t", [p])]], "by-fragment")
+        paths = {"t": PathSets(used={parse_rel_path("child::id")})}
+        projected = marshal_calls([[("t", [p])]], "by-projection", paths)
+        assert len(projected.fragments[0]) < len(fragment.fragments[0]) / 5
+
+    def test_missing_paths_default_to_full_subtree(self):
+        doc = parse_fragment("<a><p><x/></p></a>")
+        p = by_name(doc, "p")
+        bundle = marshal_calls([[("t", [p])]], "by-projection", {})
+        assert "<x/>" in bundle.fragments[0]

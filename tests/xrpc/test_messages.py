@@ -1,0 +1,112 @@
+"""Message wire format: Figures 4-5 shapes and XML round-trips."""
+
+from repro.xrpc.messages import (
+    Atomic, AttrRef, Call, NodeCopy, NodeRef, RequestMessage,
+    ResponseMessage,
+)
+
+
+def roundtrip_request(request: RequestMessage) -> RequestMessage:
+    return RequestMessage.from_xml(request.to_xml())
+
+
+class TestRequestRoundTrip:
+    def test_atomics(self):
+        request = RequestMessage(
+            query="$p", param_names=["p"],
+            calls=[Call([("p", [Atomic("xs:integer", "42"),
+                                Atomic("xs:string", "a<b&c")])])])
+        back = roundtrip_request(request)
+        assert back.query == "$p"
+        assert back.calls[0].params[0][1] == [
+            Atomic("xs:integer", "42"), Atomic("xs:string", "a<b&c")]
+
+    def test_node_copy(self):
+        request = RequestMessage(
+            query="$p", param_names=["p"],
+            calls=[Call([("p", [NodeCopy("element", "",
+                                         "<a x=\"1\"><b/></a>")])])])
+        back = roundtrip_request(request)
+        (item,) = back.calls[0].params[0][1]
+        assert isinstance(item, NodeCopy)
+        assert item.xml == '<a x="1"><b/></a>'
+
+    def test_attribute_copy(self):
+        request = RequestMessage(
+            query="$p", param_names=["p"],
+            calls=[Call([("p", [NodeCopy("attribute", "id", "v&1")])])])
+        (item,) = roundtrip_request(request).calls[0].params[0][1]
+        assert item.name == "id" and item.xml == "v&1"
+
+    def test_fragment_references(self):
+        request = RequestMessage(
+            query="($l, $r)", param_names=["l", "r"],
+            calls=[Call([("l", [NodeRef(1, 2)]),
+                         ("r", [AttrRef(1, 1, "id")])])],
+            fragments=["<a><b/></a>"])
+        back = roundtrip_request(request)
+        assert back.fragments == ["<a><b/></a>"]
+        assert back.calls[0].params[0][1] == [NodeRef(1, 2)]
+        assert back.calls[0].params[1][1] == [AttrRef(1, 1, "id")]
+
+    def test_bulk_calls(self):
+        request = RequestMessage(
+            query="$p", param_names=["p"],
+            calls=[Call([("p", [Atomic("xs:integer", str(i))])])
+                   for i in range(3)])
+        assert len(roundtrip_request(request).calls) == 3
+
+    def test_static_context_attributes(self):
+        request = RequestMessage(
+            query="1", param_names=[], calls=[Call([])],
+            static_attrs={"xrpc:base-uri": "http://x/",
+                          "xrpc:current-dateTime": "t"})
+        back = roundtrip_request(request)
+        assert back.static_attrs["xrpc:base-uri"] == "http://x/"
+
+    def test_projection_paths_element(self):
+        """Figure 5: the request for makenodes() carries parent::a as
+        a returned path; presence selects by-projection responses."""
+        request = RequestMessage(
+            query="makenodes()", param_names=[], calls=[Call([])],
+            used_paths=[], returned_paths=["parent::a"])
+        xml = request.to_xml()
+        assert "<xrpc:projection-paths>" in xml
+        assert ("<xrpc:returned-path>parent::a"
+                "</xrpc:returned-path>") in xml
+        back = RequestMessage.from_xml(xml)
+        assert back.returned_paths == ["parent::a"]
+
+    def test_absent_projection_paths_is_none(self):
+        request = RequestMessage(query="1", param_names=[],
+                                 calls=[Call([])])
+        back = roundtrip_request(request)
+        assert back.used_paths is None
+        assert back.returned_paths is None
+
+
+class TestResponse:
+    def test_roundtrip(self):
+        response = ResponseMessage(
+            results=[[NodeRef(1, 2)], [Atomic("xs:boolean", "true")]],
+            fragments=["<a><b><c/></b></a>"])
+        back = ResponseMessage.from_xml(response.to_xml())
+        assert back.results == [[NodeRef(1, 2)],
+                                [Atomic("xs:boolean", "true")]]
+        assert back.fragments == ["<a><b><c/></b></a>"]
+
+    def test_figure4_shape(self):
+        """The pass-by-fragment response of Figure 4: one fragment,
+        references carrying fragid/nodeid."""
+        response = ResponseMessage(results=[[NodeRef(1, 2)]],
+                                   fragments=["<a><b><c/></b></a>"])
+        xml = response.to_xml()
+        assert ("<xrpc:fragments><xrpc:fragment><a><b><c/></b></a>"
+                "</xrpc:fragment></xrpc:fragments>") in xml
+        assert '<xrpc:element fragid="1" nodeid="2"/>' in xml
+
+    def test_envelope_is_soap(self):
+        response = ResponseMessage(results=[[]])
+        xml = response.to_xml()
+        assert xml.startswith("<env:Envelope")
+        assert "soap-envelope" in xml
