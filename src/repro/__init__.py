@@ -21,6 +21,8 @@ Quickstart::
 from repro.decompose import Strategy, decompose
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats, TimeBreakdown
+from repro.runtime import (FederationEngine, LoopbackTransport, ResultCache,
+                           SimulatedTransport)
 from repro.system.federation import Federation, Peer, RunResult
 from repro.xmldb import Document, Node, parse_document, parse_fragment
 from repro.xquery import Evaluator, parse_query, pretty
@@ -32,6 +34,8 @@ __all__ = [
     "Federation", "Peer", "RunResult",
     "Strategy", "decompose",
     "CostModel", "RunStats", "TimeBreakdown",
+    "FederationEngine", "ResultCache",
+    "LoopbackTransport", "SimulatedTransport",
     "Document", "Node", "parse_document", "parse_fragment",
     "Evaluator", "parse_query", "pretty",
     "sequences_deep_equal", "serialize_sequence",

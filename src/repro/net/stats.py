@@ -46,6 +46,8 @@ class RunStats:
     messages: int = 0            # network interactions (message count)
     rpc_calls: int = 0           # function applications (bulk counts >1)
     documents_shipped: int = 0
+    cache_hits: int = 0          # round trips / shipments served from
+    cache_saved_bytes: int = 0   # the runtime's shared result cache
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
 
     @property
@@ -69,6 +71,8 @@ class RunStats:
             "messages": self.messages,
             "rpc_calls": self.rpc_calls,
             "documents_shipped": self.documents_shipped,
+            "cache_hits": self.cache_hits,
+            "cache_saved_bytes": self.cache_saved_bytes,
             "total_time_s": self.times.total,
             "times": self.times.as_dict(),
         }

@@ -1,0 +1,35 @@
+"""Concurrent multi-query runtime on top of the federation simulator.
+
+The seed executes one federated query at a time; this package turns it
+into a runtime that serves many queries concurrently over shared peers:
+
+* :mod:`repro.runtime.transport` — the wire logic of a round trip,
+  extracted from the federation into a pluggable :class:`Transport`
+  (in-process loopback, or a simulated wire with real latency/faults);
+* :mod:`repro.runtime.engine` — :class:`FederationEngine`, a
+  thread-pool scheduler with admission control and per-peer capacity
+  gates;
+* :mod:`repro.runtime.cache` — a projection-aware result/fragment
+  cache shared across queries, invalidated by ``Peer.store``;
+* :mod:`repro.runtime.batching` — cross-query Bulk-RPC coalescing,
+  extending the paper's bulk idea across query boundaries;
+* :mod:`repro.runtime.metrics` — throughput / latency-percentile /
+  cache aggregation across queries.
+"""
+
+from repro.runtime.batching import BulkBatcher
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.engine import EngineClosedError, FederationEngine
+from repro.runtime.metrics import MetricsAggregator, QueryRecord, percentile
+from repro.runtime.transport import (Exchange, FaultInjectedError,
+                                     LoopbackTransport, SimulatedTransport,
+                                     Transport)
+
+__all__ = [
+    "BulkBatcher",
+    "CacheStats", "ResultCache",
+    "EngineClosedError", "FederationEngine",
+    "MetricsAggregator", "QueryRecord", "percentile",
+    "Exchange", "FaultInjectedError", "LoopbackTransport",
+    "SimulatedTransport", "Transport",
+]

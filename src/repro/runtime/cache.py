@@ -1,0 +1,226 @@
+"""A projection-aware result/fragment cache shared across queries.
+
+Two kinds of entries, both bounded by LRU:
+
+* **response entries** — the serialised XML of one XRPC response, keyed
+  by ``(dest peer, request digest, projection-path signature)``. The
+  digest covers the exact request text (shipped query body, static
+  context, marshalled parameter fragments), so a hit is only possible
+  for a byte-identical request; the projection signature is kept
+  explicit in the key so by-projection responses for different
+  used/returned path sets never alias. On a hit the cached text is
+  re-parsed by the consuming query, which gives it fresh fragment
+  documents — node identity stays private per query, so concurrent
+  readers never share mutable state.
+* **document entries** — shipped-and-shredded documents, keyed by
+  ``(requester, owner, document)``. A hit skips the serialise /
+  network / shred charges of data shipping entirely.
+
+Invalidation is conservative: :meth:`ResultCache.attach` hooks
+``Peer.store``, and a store on *any* peer drops that peer's document
+entries plus **all** response entries — a response from peer B may
+transitively depend on documents shipped from peer A (nested ``execute
+at``), so per-peer response invalidation would be unsound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.system.federation import Federation, Peer
+    from repro.xmldb.document import Document
+
+#: Key of one response entry:
+#: (dest peer, semantics, request digest, projection sig).
+ResponseKey = tuple[str, str, str, tuple[str, ...]]
+
+
+def response_key(dest: str, semantics: str, request_xml: str,
+                 used_paths: list[str] | None,
+                 returned_paths: list[str] | None) -> ResponseKey:
+    """Cache key for one round trip's response.
+
+    ``semantics`` must be part of the key: the request XML carries no
+    semantics marker (the handler receives it out-of-band), so by-value
+    and by-fragment runs of the same query produce byte-identical
+    requests whose responses use different wire formats.
+    """
+    digest = hashlib.sha256(request_xml.encode()).hexdigest()
+    signature = tuple(
+        [f"u:{p}" for p in used_paths or []]
+        + [f"r:{p}" for p in returned_paths or []])
+    return (dest, semantics, digest, signature)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting; ``saved_bytes`` is wire traffic avoided."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    saved_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "saved_bytes": self.saved_bytes,
+        }
+
+
+class ResultCache:
+    """LRU response/document cache, safe for concurrent queries."""
+
+    def __init__(self, max_responses: int = 256, max_documents: int = 32):
+        self.max_responses = max_responses
+        self.max_documents = max_documents
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._epoch = 0
+        #: ResponseKey -> response XML text
+        self._responses: OrderedDict[ResponseKey, str] = OrderedDict()
+        #: (requester, owner, local_name) -> (Document, serialized bytes)
+        self._documents: OrderedDict[tuple[str, str, str],
+                                     tuple["Document", int]] = OrderedDict()
+        #: id(peer) -> (peer, registered listener), for detach().
+        self._attached: dict[int, tuple["Peer", object]] = {}
+
+    def epoch(self) -> int:
+        """The invalidation epoch. Capture it *before* computing a value
+        and pass it to ``store_*``: if an invalidation lands in between,
+        the store is discarded rather than re-populating the cache with
+        data derived from pre-invalidation documents."""
+        with self._lock:
+            return self._epoch
+
+    # -- responses ----------------------------------------------------------
+
+    def lookup_response(self, key: ResponseKey,
+                        request_bytes: int = 0) -> str | None:
+        """The cached response text, or None. ``request_bytes`` sizes the
+        request that a hit keeps off the wire (for ``saved_bytes``)."""
+        with self._lock:
+            text = self._responses.get(key)
+            if text is None:
+                self.stats.misses += 1
+                return None
+            self._responses.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.saved_bytes += request_bytes + len(text.encode())
+            return text
+
+    def store_response(self, key: ResponseKey, response_xml: str,
+                       epoch: int | None = None) -> None:
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return  # stale: an invalidation raced the computation
+            self._responses[key] = response_xml
+            self._responses.move_to_end(key)
+            while len(self._responses) > self.max_responses:
+                self._responses.popitem(last=False)
+                self.stats.evictions += 1
+
+    # -- shipped documents --------------------------------------------------
+
+    def lookup_document(self, requester: str, owner: str,
+                        local_name: str) -> tuple["Document", int] | None:
+        with self._lock:
+            entry = self._documents.get((requester, owner, local_name))
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._documents.move_to_end((requester, owner, local_name))
+            self.stats.hits += 1
+            self.stats.saved_bytes += entry[1]
+            return entry
+
+    def store_document(self, requester: str, owner: str, local_name: str,
+                       document: "Document", size: int,
+                       epoch: int | None = None) -> None:
+        with self._lock:
+            if epoch is not None and epoch != self._epoch:
+                return  # stale: an invalidation raced the computation
+            self._documents[(requester, owner, local_name)] = (document, size)
+            self._documents.move_to_end((requester, owner, local_name))
+            while len(self._documents) > self.max_documents:
+                self._documents.popitem(last=False)
+                self.stats.evictions += 1
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate_peer(self, peer_name: str) -> None:
+        """Called when ``peer_name`` (re)stores a document: drop its
+        document entries and, conservatively, every response entry."""
+        with self._lock:
+            self._epoch += 1
+            doomed = [key for key in self._documents if key[1] == peer_name]
+            for key in doomed:
+                del self._documents[key]
+            dropped = len(doomed) + len(self._responses)
+            self._responses.clear()
+            if dropped:
+                self.stats.invalidations += dropped
+
+    def attach(self, federation: "Federation") -> None:
+        """Hook invalidation into every current peer's ``store`` (safe to
+        call repeatedly and concurrently; new peers are picked up on the
+        next call)."""
+        # Snapshot first: submit() calls this while other threads may be
+        # adding peers, and each peer must be claimed under the lock so
+        # concurrent attaches never double-register a listener.
+        for peer in list(federation.peers.values()):
+            def listener(peer_name: str, _name: str) -> None:
+                self.invalidate_peer(peer_name)
+
+            # Register under the cache lock so a concurrent detach()
+            # can never miss a listener claimed-but-not-yet-registered.
+            # Lock order is cache -> peer everywhere (store() calls
+            # listeners with the peer lock released), so no deadlock.
+            with self._lock:
+                if id(peer) in self._attached:
+                    continue
+                peer.on_store(listener)
+                self._attached[id(peer)] = (peer, listener)
+
+    def detach(self) -> None:
+        """Unhook this cache from every peer it attached to — call when
+        retiring a cache so long-lived federations don't accumulate
+        dead invalidation listeners."""
+        with self._lock:
+            attached = list(self._attached.values())
+            self._attached.clear()
+        for peer, listener in attached:
+            peer.remove_on_store(listener)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._responses) + len(self._documents)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "responses": len(self._responses),
+                "documents": len(self._documents),
+                **self.stats.as_dict(),
+            }

@@ -1,0 +1,122 @@
+"""Aggregating per-query :class:`~repro.net.stats.RunStats` into
+runtime-level metrics: throughput, latency percentiles, bytes per peer,
+and cache effectiveness.
+
+The seed measures one query at a time; a concurrent runtime needs the
+fleet view. :class:`MetricsAggregator` collects one
+:class:`QueryRecord` per completed (or failed) query and reduces them
+into the numbers ``benchmarks/bench_throughput.py`` sweeps: queries/sec
+over the busy interval, wall-clock p50/p95/p99, simulated-time totals,
+and transferred bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.net.stats import RunStats
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass
+class QueryRecord:
+    """One query's life in the runtime."""
+
+    started_at: float            # perf_counter timestamps
+    finished_at: float
+    stats: RunStats | None       # None when the query failed
+    strategy: str = ""
+    at: str = ""
+    error: str | None = None
+
+    @property
+    def wall_s(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class MetricsAggregator:
+    """Thread-safe accumulator of :class:`QueryRecord`."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record(self, record: QueryRecord) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    # -- reductions ---------------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        """The fleet view over everything recorded so far."""
+        with self._lock:
+            records = list(self.records)
+        completed = [r for r in records if r.ok and r.stats is not None]
+        failed = len(records) - len(completed)
+        latencies = [r.wall_s for r in completed]
+        busy_s = 0.0
+        if records:
+            busy_s = (max(r.finished_at for r in records)
+                      - min(r.started_at for r in records))
+        throughput = len(completed) / busy_s if busy_s > 0 else 0.0
+        total_bytes = sum(r.stats.total_transferred_bytes
+                          for r in completed)
+        simulated_s = sum(r.stats.times.total for r in completed)
+        cache_hits = sum(r.stats.cache_hits for r in completed)
+        cache_saved = sum(r.stats.cache_saved_bytes for r in completed)
+        return {
+            "queries": len(completed),
+            "failed": failed,
+            "busy_s": busy_s,
+            "throughput_qps": throughput,
+            "latency_s": {
+                "p50": percentile(latencies, 50),
+                "p95": percentile(latencies, 95),
+                "p99": percentile(latencies, 99),
+                "max": max(latencies) if latencies else 0.0,
+            },
+            "total_transferred_bytes": total_bytes,
+            "simulated_time_s": simulated_s,
+            "cache_hits": cache_hits,
+            "cache_saved_bytes": cache_saved,
+        }
+
+    def format_summary(self) -> str:
+        """A short human-readable block for examples and benchmarks."""
+        summary = self.summary()
+        latency = summary["latency_s"]
+        lines = [
+            f"queries     : {summary['queries']} completed, "
+            f"{summary['failed']} failed",
+            f"throughput  : {summary['throughput_qps']:.1f} queries/s "
+            f"over {summary['busy_s'] * 1000:.1f} ms",
+            f"latency     : p50 {latency['p50'] * 1000:.2f} ms | "
+            f"p95 {latency['p95'] * 1000:.2f} ms | "
+            f"p99 {latency['p99'] * 1000:.2f} ms",
+            f"transferred : {summary['total_transferred_bytes']} bytes "
+            f"({summary['simulated_time_s'] * 1000:.2f} ms simulated)",
+            f"cache       : {summary['cache_hits']} hits, "
+            f"{summary['cache_saved_bytes']} bytes saved",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,269 @@
+"""Pluggable wire transports: the serialise/ship/deserialise slice of a
+round trip, extracted from ``_Run._round_trip`` / ``_ship_document``.
+
+A :class:`Transport` owns everything between "the request message is
+built" and "the parsed response is back": serialising both messages to
+their SOAP-style XML text, charging :class:`~repro.net.costmodel.CostModel`
+time into the caller's :class:`~repro.net.stats.RunStats`, and keeping
+federation-wide wire counters (bytes/messages per peer) that survive
+across queries — the ground truth the engine's metrics report.
+
+Two implementations ship:
+
+* :class:`LoopbackTransport` — in-process, no wall-clock delay; the
+  seed's behaviour, byte-for-byte.
+* :class:`SimulatedTransport` — additionally *spends wall-clock time*
+  proportional to the simulated network time (scaled by
+  ``time_scale``) and can inject extra latency and faults from a
+  seeded RNG, so concurrency experiments see a realistic wire.
+
+Transports are deliberately ignorant of query evaluation: the peer-side
+work arrives as a ``handle`` callable (a bound
+:meth:`~repro.xrpc.peer.RequestHandler.handle`), which keeps this module
+free of any dependency on :mod:`repro.system`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import NetworkError
+from repro.net.costmodel import CostModel
+from repro.net.stats import RunStats
+from repro.xrpc.messages import RequestMessage, ResponseMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.system.federation import Peer
+
+
+class FaultInjectedError(NetworkError):
+    """A transport-level fault injected by :class:`SimulatedTransport`."""
+
+
+@dataclass
+class Exchange:
+    """One completed request/response interaction on the wire."""
+
+    dest: str
+    request_xml: str
+    response_xml: str
+    response: ResponseMessage
+
+    @property
+    def request_bytes(self) -> int:
+        return len(self.request_xml.encode())
+
+    @property
+    def response_bytes(self) -> int:
+        return len(self.response_xml.encode())
+
+
+@dataclass
+class _WireCounters:
+    """Per-peer wire truth, aggregated across all queries."""
+
+    messages: int = 0
+    message_bytes: int = 0
+    document_bytes: int = 0
+
+
+class Transport:
+    """Base transport: serialise, charge the cost model, deliver.
+
+    ``per_peer_concurrency`` bounds how many exchanges may be in flight
+    against one destination peer at a time — the runtime's per-peer
+    request queue (excess callers block on the peer's semaphore in FIFO
+    arrival order).
+    """
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 per_peer_concurrency: int | None = None):
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.per_peer_concurrency = per_peer_concurrency
+        self._lock = threading.Lock()
+        self._counters: dict[str, _WireCounters] = {}
+        self._gates: dict[str, threading.BoundedSemaphore] = {}
+
+    # -- wire counters ------------------------------------------------------
+
+    def _counter(self, peer_name: str) -> _WireCounters:
+        counter = self._counters.get(peer_name)
+        if counter is None:
+            counter = self._counters.setdefault(peer_name, _WireCounters())
+        return counter
+
+    def _count_message(self, peer_name: str, size: int) -> None:
+        with self._lock:
+            counter = self._counter(peer_name)
+            counter.messages += 1
+            counter.message_bytes += size
+
+    def _count_document(self, peer_name: str, size: int) -> None:
+        with self._lock:
+            self._counter(peer_name).document_bytes += size
+
+    def wire_summary(self) -> dict[str, dict[str, int]]:
+        """Bytes/messages per peer, across every query this transport
+        served (documents count against their owner peer)."""
+        with self._lock:
+            return {name: {"messages": c.messages,
+                           "message_bytes": c.message_bytes,
+                           "document_bytes": c.document_bytes,
+                           "total_bytes": c.message_bytes + c.document_bytes}
+                    for name, c in sorted(self._counters.items())}
+
+    # -- per-peer admission -------------------------------------------------
+
+    def set_per_peer_concurrency(self, limit: int | None) -> None:
+        """Change the per-peer capacity, rebuilding the gates so peers
+        already contacted pick up the new limit (in-flight transmissions
+        finish under the gate they acquired)."""
+        with self._lock:
+            self.per_peer_concurrency = limit
+            self._gates.clear()
+
+    def _gate(self, peer_name: str) -> threading.BoundedSemaphore | None:
+        if self.per_peer_concurrency is None:
+            return None
+        with self._lock:
+            gate = self._gates.get(peer_name)
+            if gate is None:
+                gate = threading.BoundedSemaphore(self.per_peer_concurrency)
+                self._gates[peer_name] = gate
+        return gate
+
+    # -- hooks for simulated wires ------------------------------------------
+
+    def _transmit(self, peer_name: str, size: int) -> None:
+        """Called once per message/document put on the wire; subclasses
+        may sleep or raise here."""
+
+    def _gated_transmit(self, peer_name: str, size: int) -> None:
+        """One transmission under the peer's capacity gate. The gate
+        covers only the wire slice — never remote evaluation, which may
+        re-enter the transport for other peers (holding a gate across
+        ``handle`` would deadlock two queries shipping in opposite
+        directions)."""
+        gate = self._gate(peer_name)
+        if gate is not None:
+            gate.acquire()
+        try:
+            self._transmit(peer_name, size)
+        finally:
+            if gate is not None:
+                gate.release()
+
+    # -- the two wire operations --------------------------------------------
+
+    def charge_message(self, stats: RunStats, size: int) -> None:
+        model = self.cost_model
+        stats.record_message(size)
+        stats.times.serialize += model.serialize_time(size)
+        stats.times.network += model.network_time(size)
+        stats.times.serialize += model.deserialize_time(size)
+
+    def exchange(self, peer: "Peer", request: RequestMessage,
+                 handle: Callable[[RequestMessage], ResponseMessage],
+                 stats: RunStats,
+                 request_xml: str | None = None) -> Exchange:
+        """Ship ``request`` to ``peer``, run ``handle`` there, ship the
+        response back. Both directions are real XML text, re-parsed on
+        arrival, exactly as the seed did inline. Callers that already
+        serialised the request (for cache keys) pass ``request_xml`` to
+        avoid a second ``to_xml`` of the full fragment preamble."""
+        if request_xml is None:
+            request_xml = request.to_xml()
+        request_bytes = len(request_xml.encode())
+        self.charge_message(stats, request_bytes)
+
+        self._gated_transmit(peer.name, request_bytes)
+        # Wire counters record delivered traffic only — count after the
+        # transmit so injected faults don't inflate them.
+        self._count_message(peer.name, request_bytes)
+        response = handle(RequestMessage.from_xml(request_xml))
+        response_xml = response.to_xml()
+        response_bytes = len(response_xml.encode())
+        self._gated_transmit(peer.name, response_bytes)
+
+        self.charge_message(stats, response_bytes)
+        self._count_message(peer.name, response_bytes)
+        return Exchange(dest=peer.name, request_xml=request_xml,
+                        response_xml=response_xml,
+                        response=ResponseMessage.from_xml(response_xml))
+
+    def fetch_document(self, owner: "Peer", local_name: str,
+                       stats: RunStats) -> str:
+        """Data shipping: serialise a document at its owner and move the
+        text over the wire (the caller shreds it)."""
+        text = owner.serialized(local_name)
+        size = len(text.encode())
+        model = self.cost_model
+        stats.record_document_shipped(size)
+        stats.times.serialize += model.serialize_time(size)
+        stats.times.network += model.network_time(size)
+        stats.times.shred += model.shred_time(size)
+        self._gated_transmit(owner.name, size)
+        self._count_document(owner.name, size)
+        return text
+
+
+class LoopbackTransport(Transport):
+    """In-process transport preserving the seed's behaviour: costs are
+    charged into :class:`RunStats` but no wall-clock time passes."""
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault injection: each transmission fails with
+    probability ``rate`` (seeded RNG shared across threads)."""
+
+    rate: float = 0.0
+    seed: int = 20090329
+    _rng: random.Random = field(init=False, repr=False)
+    _lock: threading.Lock = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+        self._lock = threading.Lock()
+
+    def should_fail(self) -> bool:
+        if self.rate <= 0.0:
+            return False
+        with self._lock:
+            return self._rng.random() < self.rate
+
+
+class SimulatedTransport(Transport):
+    """A wire that takes wall-clock time and can fail.
+
+    ``time_scale`` maps simulated network seconds to slept wall-clock
+    seconds (1.0 = real time; benchmarks use small fractions so sweeps
+    stay fast). ``extra_latency_s`` adds fixed per-transmission delay on
+    top of the cost model's, and ``fault_rate`` drops transmissions with
+    a :class:`FaultInjectedError` from a seeded RNG.
+    """
+
+    def __init__(self, cost_model: CostModel | None = None,
+                 per_peer_concurrency: int | None = None,
+                 time_scale: float = 1.0,
+                 extra_latency_s: float = 0.0,
+                 fault_rate: float = 0.0,
+                 fault_seed: int = 20090329):
+        super().__init__(cost_model, per_peer_concurrency)
+        self.time_scale = time_scale
+        self.extra_latency_s = extra_latency_s
+        self.faults = FaultPlan(rate=fault_rate, seed=fault_seed)
+
+    def _transmit(self, peer_name: str, size: int) -> None:
+        if self.faults.should_fail():
+            raise FaultInjectedError(
+                f"injected fault transmitting {size} bytes to "
+                f"{peer_name!r}")
+        delay = (self.cost_model.network_time(size) * self.time_scale
+                 + self.extra_latency_s)
+        if delay > 0:
+            time.sleep(delay)

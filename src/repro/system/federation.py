@@ -9,18 +9,27 @@ the benchmark harness needs to regenerate Figures 7-9.
 Transport realism: requests and responses are serialised to actual
 SOAP-style XML text and re-parsed on the other side; document shipping
 serialises the document at the owner and shreds it at the requester.
-All byte counts are lengths of those texts.
+All byte counts are lengths of those texts. The wire itself lives in a
+pluggable :class:`~repro.runtime.transport.Transport` (in-process
+loopback by default); :class:`~repro.runtime.engine.FederationEngine`
+runs many queries concurrently over one federation, so peers are
+thread-safe and ``Peer.store`` notifies listeners (cache invalidation).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.decompose import DecompositionResult, Strategy, decompose
 from repro.errors import NetworkError, XQueryDynamicError
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
 from repro.paths.analysis import PathSets, ProjectionSpec, analyze_module
+from repro.runtime.batching import BulkBatcher, batch_key
+from repro.runtime.cache import ResultCache, response_key
+from repro.runtime.transport import LoopbackTransport, Transport
 from repro.xmldb.document import Document
 from repro.xmldb.parser import parse_document
 from repro.xmldb.serializer import serialize
@@ -37,12 +46,29 @@ XRPC_SCHEME = "xrpc://"
 
 
 class Peer:
-    """One peer: a named document space."""
+    """One peer: a named document space (safe to share across queries)."""
 
     def __init__(self, name: str):
         self.name = name
         self.documents: dict[str, Document] = {}
         self._serialized: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._serialize_lock = threading.Lock()
+        self._store_listeners: list[Callable[[str, str], None]] = []
+
+    def on_store(self, listener: Callable[[str, str], None]) -> None:
+        """Register a ``(peer_name, local_name)`` callback fired after
+        every :meth:`store` — the runtime cache invalidation hook."""
+        with self._lock:
+            self._store_listeners.append(listener)
+
+    def remove_on_store(self, listener: Callable[[str, str], None]) -> None:
+        """Unregister a :meth:`on_store` listener (no-op if absent)."""
+        with self._lock:
+            try:
+                self._store_listeners.remove(listener)
+            except ValueError:
+                pass
 
     def store(self, local_name: str, content: str | Document) -> "Peer":
         """Register a document under a local name (chainable)."""
@@ -51,8 +77,12 @@ class Peer:
         else:
             document = parse_document(
                 content, uri=f"{XRPC_SCHEME}{self.name}/{local_name}")
-        self.documents[local_name] = document
-        self._serialized.pop(local_name, None)
+        with self._lock:
+            self.documents[local_name] = document
+            self._serialized.pop(local_name, None)
+            listeners = list(self._store_listeners)
+        for listener in listeners:
+            listener(self.name, local_name)
         return self
 
     def document(self, local_name: str) -> Document:
@@ -64,11 +94,27 @@ class Peer:
             ) from None
 
     def serialized(self, local_name: str) -> str:
-        cached = self._serialized.get(local_name)
-        if cached is None:
-            cached = serialize(self.document(local_name))
-            self._serialized[local_name] = cached
-        return cached
+        with self._lock:
+            cached = self._serialized.get(local_name)
+        if cached is not None:
+            return cached
+        # One serialisation at a time per peer: concurrent first-touch
+        # queries wait for the leader's text instead of each redundantly
+        # serialising the same (potentially large) document.
+        with self._serialize_lock:
+            with self._lock:
+                cached = self._serialized.get(local_name)
+            if cached is not None:
+                return cached
+            document = self.document(local_name)
+            text = serialize(document)
+            with self._lock:
+                # Cache only if no store() swapped the document while we
+                # serialised outside the lock — a stale write-back here
+                # would be served until the next store.
+                if self.documents.get(local_name) is document:
+                    self._serialized[local_name] = text
+            return text
 
 
 @dataclass
@@ -101,9 +147,12 @@ class Federation:
     """A set of peers plus the simulated network between them."""
 
     def __init__(self, cost_model: CostModel | None = None,
-                 static: StaticContext | None = None):
+                 static: StaticContext | None = None,
+                 transport: Transport | None = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.static = static if static is not None else StaticContext()
+        self.transport = (transport if transport is not None
+                          else LoopbackTransport(self.cost_model))
         self.peers: dict[str, Peer] = {}
 
     def add_peer(self, name: str) -> Peer:
@@ -125,20 +174,36 @@ class Federation:
             strategy: Strategy = Strategy.BY_PROJECTION,
             bulk_rpc: bool = True, code_motion: bool = True,
             let_sinking: bool = True,
-            keep_message_xml: bool = False) -> RunResult:
+            keep_message_xml: bool = False,
+            transport: Transport | None = None,
+            result_cache: ResultCache | None = None,
+            batcher: BulkBatcher | None = None) -> RunResult:
         """Parse, decompose and execute ``query`` at peer ``at``."""
         module = parse_query(query)
         decomposition = decompose(module, strategy, local_host=at,
                                   code_motion=code_motion,
                                   let_sinking=let_sinking)
         return self.execute(decomposition, at, bulk_rpc=bulk_rpc,
-                            keep_message_xml=keep_message_xml)
+                            keep_message_xml=keep_message_xml,
+                            transport=transport, result_cache=result_cache,
+                            batcher=batcher)
 
     def execute(self, decomposition: DecompositionResult, at: str,
                 bulk_rpc: bool = True,
-                keep_message_xml: bool = False) -> RunResult:
-        """Execute an already-decomposed query at peer ``at``."""
-        run = _Run(self, decomposition, at, bulk_rpc, keep_message_xml)
+                keep_message_xml: bool = False,
+                transport: Transport | None = None,
+                result_cache: ResultCache | None = None,
+                batcher: BulkBatcher | None = None) -> RunResult:
+        """Execute an already-decomposed query at peer ``at``.
+
+        ``transport`` defaults to the federation's (loopback);
+        ``result_cache`` and ``batcher`` are injected by
+        :class:`~repro.runtime.engine.FederationEngine` for cross-query
+        reuse and coalescing, and stay off for standalone runs.
+        """
+        run = _Run(self, decomposition, at, bulk_rpc, keep_message_xml,
+                   transport=transport, result_cache=result_cache,
+                   batcher=batcher)
         return run.execute()
 
 
@@ -147,12 +212,19 @@ class _Run:
 
     def __init__(self, federation: Federation,
                  decomposition: DecompositionResult, origin: str,
-                 bulk_rpc: bool, keep_message_xml: bool):
+                 bulk_rpc: bool, keep_message_xml: bool,
+                 transport: Transport | None = None,
+                 result_cache: ResultCache | None = None,
+                 batcher: BulkBatcher | None = None):
         self.federation = federation
         self.decomposition = decomposition
         self.origin = origin
         self.bulk_rpc = bulk_rpc
         self.keep_message_xml = keep_message_xml
+        self.transport = (transport if transport is not None
+                          else federation.transport)
+        self.result_cache = result_cache
+        self.batcher = batcher
         self.stats = RunStats()
         self.messages: list[MessageLog] = []
         self.local_counter = CostCounter()
@@ -210,16 +282,26 @@ class _Run:
         cached = self._shipped_docs.get(key)
         if cached is not None:
             return cached
-        text = self.federation.peer(owner).serialized(local_name)
-        size = len(text.encode())
-        model = self.federation.cost_model
-        self.stats.record_document_shipped(size)
-        self.stats.times.serialize += model.serialize_time(size)
-        self.stats.times.network += model.network_time(size)
-        self.stats.times.shred += model.shred_time(size)
+        cache_epoch = None
+        if self.result_cache is not None:
+            cache_epoch = self.result_cache.epoch()
+            entry = self.result_cache.lookup_document(requester, owner,
+                                                      local_name)
+            if entry is not None:
+                document, size = entry
+                self.stats.cache_hits += 1
+                self.stats.cache_saved_bytes += size
+                self._shipped_docs[key] = document
+                return document
+        text = self.transport.fetch_document(
+            self.federation.peer(owner), local_name, self.stats)
         document = parse_document(
             text, uri=f"{XRPC_SCHEME}{owner}/{local_name}")
         self._shipped_docs[key] = document
+        if self.result_cache is not None:
+            self.result_cache.store_document(requester, owner, local_name,
+                                             document, len(text.encode()),
+                                             epoch=cache_epoch)
         return document
 
     # -- XRPC transport ---------------------------------------------------------
@@ -245,7 +327,12 @@ class _Run:
     def _round_trip(self, from_peer: str, dest: str,
                     calls: list[list[tuple[str, list]]],
                     body: Expr) -> list[list]:
-        """One network interaction: marshal, ship, execute, ship back."""
+        """One network interaction: marshal, ship, execute, ship back.
+
+        The wire itself is the transport's job; this method builds the
+        request, consults the shared result cache, and hands mergeable
+        round trips to the cross-query batcher.
+        """
         dest_name = dest[len(XRPC_SCHEME):].split("/", 1)[0] \
             if dest.startswith(XRPC_SCHEME) else dest
         peer = self.federation.peer(dest_name)  # raises on unknown peer
@@ -260,41 +347,99 @@ class _Run:
             returned_paths = sorted(
                 str(p) for p in spec.result_paths.returned)
 
-        bundle = marshal_calls(calls, self.semantics, param_paths)
+        query_text = pretty(body)
         param_names = [name for name, _seq in calls[0]] if calls else []
-        request = RequestMessage(
-            query=pretty(body),
-            param_names=param_names,
-            calls=bundle.calls,
-            fragments=bundle.fragments,
-            static_attrs=self.federation.static.to_attributes(),
-            used_paths=used_paths,
-            returned_paths=returned_paths,
-        )
+        static_attrs = self.federation.static.to_attributes()
+
+        def build_request(raw_calls: list[list[tuple[str, list]]]
+                          ) -> RequestMessage:
+            bundle = marshal_calls(raw_calls, self.semantics, param_paths)
+            return RequestMessage(
+                query=query_text,
+                param_names=param_names,
+                calls=bundle.calls,
+                fragments=bundle.fragments,
+                static_attrs=static_attrs,
+                used_paths=used_paths,
+                returned_paths=returned_paths,
+            )
+
+        request = build_request(calls)
         request_xml = request.to_xml()
         request_bytes = len(request_xml.encode())
-        self.stats.record_message(request_bytes)
+        base_uri = f"{XRPC_SCHEME}{peer.name}/response"
+
+        cache_key = cache_epoch = None
+        if self.result_cache is not None:
+            cache_epoch = self.result_cache.epoch()
+            cache_key = response_key(dest_name, self.semantics, request_xml,
+                                     used_paths, returned_paths)
+            hit = self.result_cache.lookup_response(cache_key, request_bytes)
+            if hit is not None:
+                # Served from the shared cache: nothing on the wire; the
+                # cached text is still shredded locally into fresh
+                # fragment documents, so node identity stays per-query.
+                self.stats.cache_hits += 1
+                self.stats.cache_saved_bytes += (request_bytes
+                                                 + len(hit.encode()))
+                self.stats.times.serialize += model.deserialize_time(
+                    len(hit.encode()))
+                parsed = ResponseMessage.from_xml(hit)
+                return unmarshal_result(parsed.results, parsed.fragments,
+                                        base_uri=base_uri)
+
+        def make_handler() -> RequestHandler:
+            return RequestHandler(
+                peer_name=peer.name,
+                resolve_doc=self._resolver(peer.name),
+                xrpc_execute=self._make_xrpc_execute(peer.name),
+                semantics=self.semantics,
+                counter=self.remote_counter,
+            )
+
+        if self.batcher is not None:
+            key = batch_key(dest_name, query_text, param_names,
+                            self.semantics, static_attrs,
+                            used_paths, returned_paths)
+
+            def merged_exchange(merged_calls: list[list[tuple[str, list]]]
+                                ) -> ResponseMessage:
+                # Only the batch leader lands here; the merged wire
+                # exchange is charged to no single query (each
+                # participant accounts for its private messages below),
+                # while the transport's wire counters record the truth.
+                # Known accounting skew: nested work the merged
+                # evaluation triggers (document shipping, recursive
+                # round trips) runs through the leader's resolver and
+                # counters, so under coalescing the leader's RunStats
+                # over-report and riders' under-report that share.
+                if len(merged_calls) == len(calls):
+                    # No riders joined: batch.calls is exactly our own
+                    # call list, so reuse the already-built request.
+                    merged_request, merged_xml = request, request_xml
+                else:
+                    merged_request, merged_xml = (
+                        build_request(merged_calls), None)
+                exchange = self.transport.exchange(
+                    peer, merged_request, make_handler().handle,
+                    RunStats(), request_xml=merged_xml)
+                return exchange.response, exchange.response_xml
+
+            response_xml = self.batcher.execute(key, calls, merged_exchange)
+            self.transport.charge_message(self.stats, request_bytes)
+            response_bytes = len(response_xml.encode())
+            self.transport.charge_message(self.stats, response_bytes)
+            parsed = ResponseMessage.from_xml(response_xml)
+        else:
+            exchange = self.transport.exchange(peer, request,
+                                               make_handler().handle,
+                                               self.stats,
+                                               request_xml=request_xml)
+            response_xml = exchange.response_xml
+            response_bytes = exchange.response_bytes
+            parsed = exchange.response
+
         self.stats.rpc_calls += len(calls)
-        self.stats.times.serialize += model.serialize_time(request_bytes)
-        self.stats.times.network += model.network_time(request_bytes)
-        self.stats.times.serialize += model.deserialize_time(request_bytes)
-
-        handler = RequestHandler(
-            peer_name=peer.name,
-            resolve_doc=self._resolver(peer.name),
-            xrpc_execute=self._make_xrpc_execute(peer.name),
-            semantics=self.semantics,
-            counter=self.remote_counter,
-        )
-        response = handler.handle(RequestMessage.from_xml(request_xml))
-
-        response_xml = response.to_xml()
-        response_bytes = len(response_xml.encode())
-        self.stats.record_message(response_bytes)
-        self.stats.times.serialize += model.serialize_time(response_bytes)
-        self.stats.times.network += model.network_time(response_bytes)
-        self.stats.times.serialize += model.deserialize_time(response_bytes)
-
         self.messages.append(MessageLog(
             dest=peer.name, calls=len(calls),
             request_bytes=request_bytes, response_bytes=response_bytes,
@@ -302,9 +447,11 @@ class _Run:
             response_xml=response_xml if self.keep_message_xml else "",
         ))
 
-        parsed = ResponseMessage.from_xml(response_xml)
+        if self.result_cache is not None and cache_key is not None:
+            self.result_cache.store_response(cache_key, response_xml,
+                                             epoch=cache_epoch)
         return unmarshal_result(parsed.results, parsed.fragments,
-                                base_uri=f"{XRPC_SCHEME}{peer.name}/response")
+                                base_uri=base_uri)
 
     # -- top-level execution --------------------------------------------------------
 

@@ -1,0 +1,189 @@
+"""Result-cache correctness: keys, LRU bounds, counters, and — the
+load-bearing part — invalidation through ``Peer.store``."""
+
+from repro.runtime.cache import ResultCache, response_key
+from repro.runtime.engine import FederationEngine
+from repro.system.federation import Federation
+from repro.xmldb.parser import parse_document
+from repro.xquery.xdm import serialize_sequence
+
+from tests.conftest import COURSE_XML, Q2, STUDENTS_XML
+
+
+def make_federation():
+    federation = Federation()
+    federation.add_peer("A").store("students.xml", STUDENTS_XML)
+    federation.add_peer("B").store("course42.xml", COURSE_XML)
+    federation.add_peer("local")
+    return federation
+
+
+class TestResponseKey:
+    def test_identical_requests_share_a_key(self):
+        assert response_key("B", "by-fragment", "<xml/>", None, None) == \
+            response_key("B", "by-fragment", "<xml/>", None, None)
+
+    def test_projection_signature_separates_entries(self):
+        base = response_key("B", "by-fragment", "<xml/>", None, None)
+        used = response_key("B", "by-fragment", "<xml/>", ["child::a"], None)
+        returned = response_key("B", "by-fragment", "<xml/>", None, ["child::a"])
+        assert len({base, used, returned}) == 3
+
+    def test_dest_peer_separates_entries(self):
+        assert response_key("A", "by-fragment", "<xml/>", None, None) != \
+            response_key("B", "by-fragment", "<xml/>", None, None)
+
+    def test_semantics_separates_entries(self):
+        """By-value and by-fragment requests are byte-identical on the
+        wire (semantics travels out-of-band), but their responses use
+        different formats — they must never share a cache entry."""
+        assert response_key("B", "by-value", "<xml/>", None, None) != \
+            response_key("B", "by-fragment", "<xml/>", None, None)
+
+    def test_mixed_strategy_runs_never_share_responses(self):
+        from repro.decompose import Strategy
+
+        federation = make_federation()
+        cache = ResultCache()
+        cache.attach(federation)
+        by_value = federation.run(Q2, at="local",
+                                  strategy=Strategy.BY_VALUE,
+                                  result_cache=cache)
+        by_fragment = federation.run(Q2, at="local",
+                                     strategy=Strategy.BY_FRAGMENT,
+                                     result_cache=cache)
+        # The second run must not be served the first run's response.
+        assert by_fragment.stats.cache_hits == 0
+        assert by_fragment.stats.messages > 0
+        assert serialize_sequence(by_value.items) == \
+            serialize_sequence(by_fragment.items)
+
+
+class TestLruAndCounters:
+    def test_hit_and_miss_counters(self):
+        cache = ResultCache()
+        key = response_key("B", "by-fragment", "<req/>", None, None)
+        assert cache.lookup_response(key) is None
+        cache.store_response(key, "<resp/>")
+        assert cache.lookup_response(key, request_bytes=10) == "<resp/>"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert cache.stats.saved_bytes == 10 + len("<resp/>")
+
+    def test_response_lru_eviction(self):
+        cache = ResultCache(max_responses=2)
+        keys = [response_key("B", "by-fragment", f"<req n='{i}'/>", None, None)
+                for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.store_response(key, f"<resp n='{i}'/>")
+        assert cache.lookup_response(keys[0]) is None  # evicted
+        assert cache.lookup_response(keys[1]) is not None
+        assert cache.lookup_response(keys[2]) is not None
+        assert cache.stats.evictions == 1
+
+    def test_lookup_refreshes_lru_order(self):
+        cache = ResultCache(max_responses=2)
+        keys = [response_key("B", "by-fragment", f"<req n='{i}'/>", None, None)
+                for i in range(3)]
+        cache.store_response(keys[0], "a")
+        cache.store_response(keys[1], "b")
+        cache.lookup_response(keys[0])          # 0 becomes most recent
+        cache.store_response(keys[2], "c")      # evicts 1, not 0
+        assert cache.lookup_response(keys[0]) == "a"
+        assert cache.lookup_response(keys[1]) is None
+
+    def test_document_entries_bounded(self):
+        cache = ResultCache(max_documents=1)
+        doc = parse_document("<d/>", uri="d.xml")
+        cache.store_document("local", "A", "one.xml", doc, 4)
+        cache.store_document("local", "A", "two.xml", doc, 4)
+        assert cache.lookup_document("local", "A", "one.xml") is None
+        assert cache.lookup_document("local", "A", "two.xml") == (doc, 4)
+
+
+class TestInvalidation:
+    def test_invalidate_peer_drops_documents_and_all_responses(self):
+        cache = ResultCache()
+        doc = parse_document("<d/>", uri="d.xml")
+        cache.store_document("local", "A", "students.xml", doc, 4)
+        cache.store_document("local", "B", "course42.xml", doc, 4)
+        cache.store_response(response_key("B", "by-fragment", "<req/>", None, None), "<r/>")
+        cache.invalidate_peer("A")
+        # A's document gone; B's kept; responses dropped wholesale
+        # (they may transitively depend on any peer's documents).
+        assert cache.lookup_document("local", "A", "students.xml") is None
+        assert cache.lookup_document("local", "B", "course42.xml") \
+            is not None
+        assert cache.lookup_response(
+            response_key("B", "by-fragment", "<req/>", None, None)) is None
+        assert cache.stats.invalidations == 2
+
+    def test_peer_store_invalidates_serialized_text_cache(self):
+        federation = make_federation()
+        peer = federation.peer("A")
+        before = peer.serialized("students.xml")
+        peer.store("students.xml", "<people/>")
+        after = peer.serialized("students.xml")
+        assert before != after
+        assert "<people/>" in after
+
+    def test_peer_store_invalidates_runtime_fragment_cache(self):
+        """The satellite requirement: a store reaches both the
+        serialized-text cache and the engine's result cache, and later
+        queries see the new data."""
+        federation = make_federation()
+        with FederationEngine(federation, max_workers=2,
+                              batch_window_s=0.0) as engine:
+            first = engine.submit(Q2, "local").result()
+            assert engine.cache.snapshot()["responses"] > 0
+
+            # Repeat: answered from cache, same answer.
+            repeat = engine.submit(Q2, "local").result()
+            assert repeat.stats.cache_hits > 0
+            assert serialize_sequence(repeat.items) == \
+                serialize_sequence(first.items)
+
+            # Update course42.xml: every grade becomes Z.
+            federation.peer("B").store("course42.xml", """<enroll>
+ <exam id="s2"><grade>Z</grade></exam>
+ <exam id="s1"><grade>Z</grade></exam>
+</enroll>""")
+            assert engine.cache.snapshot()["responses"] == 0
+
+            fresh = engine.submit(Q2, "local").result()
+            text = serialize_sequence(fresh.items)
+            assert text != serialize_sequence(first.items)
+            assert "Z" in text
+
+    def test_stale_epoch_store_is_discarded(self):
+        """A value computed before an invalidation must not re-populate
+        the cache after it (the store/invalidate race)."""
+        cache = ResultCache()
+        key = response_key("B", "by-fragment", "<req/>", None, None)
+        epoch = cache.epoch()
+        cache.invalidate_peer("B")  # lands mid-computation
+        cache.store_response(key, "<stale/>", epoch=epoch)
+        assert cache.lookup_response(key) is None
+
+        doc = parse_document("<d/>", uri="d.xml")
+        epoch = cache.epoch()
+        cache.invalidate_peer("A")
+        cache.store_document("local", "A", "d.xml", doc, 4, epoch=epoch)
+        assert cache.lookup_document("local", "A", "d.xml") is None
+
+    def test_current_epoch_store_is_kept(self):
+        cache = ResultCache()
+        key = response_key("B", "by-fragment", "<req/>", None, None)
+        cache.store_response(key, "<fresh/>", epoch=cache.epoch())
+        assert cache.lookup_response(key) == "<fresh/>"
+
+    def test_attach_is_idempotent(self):
+        federation = make_federation()
+        cache = ResultCache()
+        cache.attach(federation)
+        cache.attach(federation)
+        assert len(federation.peer("A")._store_listeners) == 1
+        cache.store_response(response_key("B", "by-fragment", "<r/>", None, None), "<x/>")
+        federation.peer("A").store("extra.xml", "<d/>")
+        assert cache.stats.invalidations == 1
