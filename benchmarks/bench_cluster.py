@@ -1,0 +1,152 @@
+"""Cluster scatter-gather: shard-count scaling and replica failover.
+
+Not a paper figure — this benchmarks the ``repro.cluster`` subsystem:
+tenant workloads aimed at sharded XMark collections
+(``xrpc://people-c/...`` / ``xrpc://auctions-c/...``), executed by
+:class:`FederationEngine` over a :class:`SimulatedTransport` whose
+latency costs real wall-clock time.
+
+Two experiments:
+
+* **shard sweep** — the read-heavy tenant scan (tiny fixed request,
+  member-proportional response) over 1, 2 and 4 shards, on a
+  bandwidth-constrained wire (the paper's 1 Gb/s LAN never saturates
+  on laptop-scale documents, so the sweep models a 1 MB/s link where
+  bytes-per-peer is the scarce resource — exactly what sharding
+  divides). Per-peer concurrency is gated at 2, so the single-owner
+  cell queues on its one data node while the 4-shard fleet spreads the
+  same bytes over 4 nodes: queries/sec grows with shard count.
+  The result cache is off in this sweep — repeated thresholds would
+  otherwise serve from memory and mask the wire effect being measured.
+* **failover drill** — the full semijoin tenant mix (both collections)
+  with one data node killed mid-fleet; every query must still complete
+  (served by the surviving replicas) and the failovers must be visible
+  in the fleet's ``RunStats`` aggregation.
+
+Cells are emitted to ``BENCH_cluster.json`` via
+:func:`benchmarks.conftest.write_json` for cross-PR tracking.
+"""
+
+import random
+
+from repro.net.costmodel import CostModel
+from repro.runtime import FederationEngine, SimulatedTransport
+from repro.workloads import (
+    build_sharded_federation, sharded_scan_jobs, sharded_tenant_jobs,
+)
+
+from benchmarks.conftest import print_table, write_json
+
+SCALE = 0.04
+SHARD_SWEEP = (1, 2, 4)
+CLIENTS = 6
+ROUNDS = 2
+SEED = 20090329
+
+#: The sweep's wire: 1 MB/s with 10x time magnification, so per-peer
+#: bytes (what sharding divides) dominate wall-clock time.
+WAN_BANDWIDTH = 1e6
+TIME_SCALE = 10.0
+
+
+def _sweep_cell(shard_count: int) -> dict:
+    federation = build_sharded_federation(
+        SCALE, seed=SEED, shard_count=shard_count,
+        replication_factor=min(2, shard_count), node_count=shard_count,
+        cost_model=CostModel(bandwidth_bytes_per_s=WAN_BANDWIDTH))
+    transport = SimulatedTransport(federation.cost_model,
+                                   time_scale=TIME_SCALE,
+                                   per_peer_concurrency=2)
+    jobs = sharded_scan_jobs(clients=CLIENTS, rounds=ROUNDS,
+                             rng=random.Random(SEED))
+    with FederationEngine(federation, max_workers=CLIENTS,
+                          transport=transport, cache=False) as engine:
+        engine.run_all([(j.query, j.at, j.strategy) for j in jobs])
+        return engine.metrics.summary()
+
+
+def test_shard_scaling():
+    rows = []
+    cells = []
+    qps: dict[int, float] = {}
+    for shard_count in SHARD_SWEEP:
+        cell = _sweep_cell(shard_count)
+        qps[shard_count] = cell["throughput_qps"]
+        cells.append({
+            "experiment": "shard_sweep",
+            "shards": shard_count,
+            "throughput_qps": cell["throughput_qps"],
+            "latency_p50_s": cell["latency_s"]["p50"],
+            "latency_p95_s": cell["latency_s"]["p95"],
+            "scatter_shards": cell["scatter_shards"],
+            "transferred_bytes": cell["total_transferred_bytes"],
+        })
+        rows.append([
+            shard_count,
+            f"{cell['throughput_qps']:.1f}",
+            f"{cell['latency_s']['p50'] * 1000:.0f}",
+            f"{cell['latency_s']['p95'] * 1000:.0f}",
+            cell["scatter_shards"],
+        ])
+    print_table(
+        f"Cluster shard sweep: {CLIENTS * ROUNDS} tenant scans, "
+        "1 MB/s wire, per-peer gate 2, replication 2",
+        ["shards", "qps", "p50 ms", "p95 ms", "shard calls"], rows)
+    cells.append(_failover_cell())
+    write_json("cluster", cells, scale=SCALE, time_scale=TIME_SCALE,
+               wan_bandwidth=WAN_BANDWIDTH, clients=CLIENTS, rounds=ROUNDS)
+
+    assert qps[SHARD_SWEEP[-1]] > qps[SHARD_SWEEP[0]], (
+        f"{SHARD_SWEEP[-1]} shards should out-run {SHARD_SWEEP[0]} shard "
+        f"({qps[SHARD_SWEEP[-1]]:.1f} vs {qps[SHARD_SWEEP[0]]:.1f} qps)")
+
+
+def _failover_cell() -> dict:
+    federation = build_sharded_federation(
+        0.005, seed=SEED, shard_count=4, replication_factor=2,
+        node_count=4)
+    transport = SimulatedTransport(federation.cost_model,
+                                   time_scale=0.05,
+                                   extra_latency_s=0.002)
+    transport.kill_peer("node2")
+    jobs = sharded_tenant_jobs(clients=CLIENTS, rounds=ROUNDS,
+                               rng=random.Random(SEED))
+    with FederationEngine(federation, max_workers=CLIENTS,
+                          transport=transport) as engine:
+        engine.run_all([(j.query, j.at, j.strategy) for j in jobs])
+        cell = engine.metrics.summary()
+    row = {
+        "experiment": "failover",
+        "shards": 4,
+        "killed": "node2",
+        "queries": cell["queries"],
+        "failed": cell["failed"],
+        "throughput_qps": cell["throughput_qps"],
+        "failovers": cell["failovers"],
+    }
+    print_table(
+        "Failover drill: node2 killed, semijoin mix, replication 2",
+        ["queries", "failed", "qps", "failovers"],
+        [[row["queries"], row["failed"],
+          f"{row['throughput_qps']:.1f}", row["failovers"]]])
+    return row
+
+
+def test_failover_drill():
+    """A killed replica's queries must complete via the survivors."""
+    row = _failover_cell()
+    assert row["failed"] == 0
+    assert row["queries"] == CLIENTS * ROUNDS
+    assert row["failovers"] > 0
+
+
+def test_cluster_timing(benchmark):
+    federation = build_sharded_federation(0.005, shard_count=4)
+    jobs = sharded_tenant_jobs(clients=4, rounds=1,
+                               rng=random.Random(SEED))
+
+    def run() -> None:
+        with FederationEngine(federation, max_workers=4) as engine:
+            engine.run_all([(j.query, j.at, j.strategy) for j in jobs])
+
+    benchmark(run)

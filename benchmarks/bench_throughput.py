@@ -16,7 +16,7 @@ from repro.decompose import Strategy
 from repro.runtime import FederationEngine, SimulatedTransport
 from repro.workloads import build_federation, multi_tenant_jobs
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, write_json
 
 #: Wall-clock seconds per simulated network second: fast but non-zero,
 #: so overlapping round trips actually pay (and hide) latency.
@@ -48,11 +48,21 @@ def _run_cell(concurrency: int, strategy: Strategy,
 def test_throughput_sweep():
     strategies = (Strategy.BY_PROJECTION, Strategy.BY_FRAGMENT)
     rows = []
+    cells = []
     qps: dict[tuple[Strategy, int], float] = {}
     for strategy in strategies:
         for concurrency in CONCURRENCY_SWEEP:
             cell = _run_cell(concurrency, strategy)
             qps[(strategy, concurrency)] = cell["throughput_qps"]
+            cells.append({
+                "strategy": strategy.value,
+                "concurrency": concurrency,
+                "throughput_qps": cell["throughput_qps"],
+                "latency_p95_s": cell["latency_s"]["p95"],
+                "cache_hit_rate": cell["cache_hit_rate"],
+                "cache_saved_bytes": cell["cache_saved_bytes"],
+                "batch_merge_rate": cell["batching"]["merge_rate"],
+            })
             rows.append([
                 strategy.value, concurrency,
                 f"{cell['throughput_qps']:.1f}",
@@ -65,6 +75,7 @@ def test_throughput_sweep():
         "Runtime throughput: 16 tenant queries, SimulatedTransport",
         ["strategy", "conc", "qps", "p95 ms", "cache hit",
          "saved KB", "merged"], rows)
+    write_json("throughput", cells, scale=SCALE, time_scale=TIME_SCALE)
 
     for strategy in strategies:
         assert qps[(strategy, 8)] > qps[(strategy, 1)], (

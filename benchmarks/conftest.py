@@ -12,6 +12,10 @@ meaningful (see DESIGN.md).
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.decompose import Strategy
@@ -28,6 +32,26 @@ STRATEGY_ORDER = (Strategy.DATA_SHIPPING, Strategy.BY_VALUE,
 def sweep():
     """All four strategies over the full scale sweep (computed once)."""
     return {scale: run_all_strategies(scale) for scale in SCALES}
+
+
+def write_json(name: str, rows: list[dict], **meta) -> Path:
+    """Persist one benchmark's cells as ``BENCH_{name}.json`` so the
+    perf trajectory is machine-readable across PRs (CI uploads the
+    files as artifacts).
+
+    ``rows`` is one dict per benchmark cell; ``meta`` adds run-level
+    context (scale, sweep parameters). The output directory defaults
+    to the working directory and is overridable via ``BENCH_OUT_DIR``.
+    No timestamps: the file is a pure function of the run, so repeated
+    runs of a deterministic benchmark diff clean.
+    """
+    out_dir = Path(os.environ.get("BENCH_OUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    payload = {"benchmark": name, **meta, "rows": rows}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\n[bench] wrote {path}")
+    return path
 
 
 def print_table(title: str, header: list[str], rows: list[list[str]]) -> None:

@@ -9,15 +9,18 @@ cross-query Bulk-RPC batching, over a simulated wire that takes real
 wall-clock time.
 """
 
+import os
+
 from repro import FederationEngine, SimulatedTransport
 from repro.workloads import build_federation, multi_tenant_jobs
 
 CLIENTS = 8
 ROUNDS = 3
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.005"))
 
 
 def main() -> None:
-    federation = build_federation(scale=0.005)
+    federation = build_federation(scale=SCALE)
     transport = SimulatedTransport(federation.cost_model,
                                    time_scale=0.05,
                                    extra_latency_s=0.002,

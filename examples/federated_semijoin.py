@@ -8,6 +8,7 @@ the paper's Figures 7-9 plot.
 Run:  python examples/federated_semijoin.py [scale]
 """
 
+import os
 import sys
 
 from repro.decompose import Strategy
@@ -15,8 +16,10 @@ from repro.workloads import (
     BENCHMARK_QUERY, build_federation, document_bytes, run_strategy,
 )
 
+DEFAULT_SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.01"))
 
-def main(scale: float = 0.01) -> None:
+
+def main(scale: float = DEFAULT_SCALE) -> None:
     print(f"Generating XMark pair at scale {scale} ...")
     federation = build_federation(scale)
     total = document_bytes(federation)

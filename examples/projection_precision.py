@@ -34,9 +34,14 @@ def project_for(doc, context_nodes):
 
 
 def main() -> None:
+    import os
+
+    override = os.environ.get("REPRO_EXAMPLE_SCALE")
+    scales = ((float(override),) if override
+              else (0.0025, 0.005, 0.01, 0.02))
     print(f"{'scale':>8s} {'document':>10s} {'compile-time':>13s} "
           f"{'runtime':>10s} {'precision':>10s}")
-    for scale in (0.0025, 0.005, 0.01, 0.02):
+    for scale in scales:
         doc = generate_people(XMarkConfig(scale=scale))
         doc_size = len(serialize(doc))
 

@@ -18,6 +18,8 @@ Quickstart::
     print(result.stats.summary())
 """
 
+from repro.cluster import (ClusterCatalog, CollectionSpec,
+                           create_sharded_collection)
 from repro.decompose import Strategy, decompose
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats, TimeBreakdown
@@ -32,6 +34,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Federation", "Peer", "RunResult",
+    "ClusterCatalog", "CollectionSpec", "create_sharded_collection",
     "Strategy", "decompose",
     "CostModel", "RunStats", "TimeBreakdown",
     "FederationEngine", "ResultCache",

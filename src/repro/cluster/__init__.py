@@ -1,0 +1,63 @@
+"""Sharded & replicated collection cluster on top of the federation.
+
+The paper distributes whole documents across peers: one hot document
+means one hot peer. This package adds horizontal data partitioning so
+the same query can fan out over N peers holding N shards of one
+logical collection:
+
+* :mod:`repro.cluster.catalog` — logical collection names mapped to
+  shard sets with per-shard replica placements, epoch-versioned;
+* :mod:`repro.cluster.partitioner` — splitting an XML corpus into
+  shard fragment documents by document-order range or content hash;
+* :mod:`repro.cluster.placement` — storing shard replicas on peers
+  round-robin and registering the collection;
+* :mod:`repro.cluster.router` — scatter-gather execution of logical
+  call sites: per-shard rewrite, least-loaded replica selection,
+  transparent failover, aggregate pushdown;
+* :mod:`repro.cluster.gather` — shard-order-stable result merging and
+  shard-document reassembly for data shipping.
+
+Quickstart::
+
+    from repro import Federation
+    from repro.cluster import ClusterCatalog, create_sharded_collection
+
+    federation = Federation()
+    for name in ("node1", "node2", "node3", "node4"):
+        federation.add_peer(name)
+    federation.add_peer("local")
+    catalog = ClusterCatalog()
+    federation.attach_catalog(catalog)
+    create_sharded_collection(
+        federation, catalog, name="people-c", document=people_doc,
+        document_name="people.xml", container_path=("site", "people"),
+        member="person", shard_count=4, replication_factor=2)
+    federation.run('count(doc("xrpc://people-c/people.xml")'
+                   '/child::site/child::people/child::person)',
+                   at="local")
+"""
+
+from repro.cluster.catalog import (
+    ClusterCatalog, ClusterError, CollectionSpec, ShardInfo,
+)
+from repro.cluster.gather import (
+    aggregate_combiner, concatenate, merge_shard_documents,
+)
+from repro.cluster.partitioner import (
+    HashPartitioner, Partitioner, RangePartitioner, collection_members,
+    make_partitioner, partition_document,
+)
+from repro.cluster.placement import (
+    create_sharded_collection, round_robin_placement, shard_local_name,
+)
+from repro.cluster.router import ClusterRouter, rewrite_doc_uris
+
+__all__ = [
+    "ClusterCatalog", "ClusterError", "CollectionSpec", "ShardInfo",
+    "HashPartitioner", "Partitioner", "RangePartitioner",
+    "collection_members", "make_partitioner", "partition_document",
+    "create_sharded_collection", "round_robin_placement",
+    "shard_local_name",
+    "ClusterRouter", "rewrite_doc_uris",
+    "aggregate_combiner", "concatenate", "merge_shard_documents",
+]

@@ -1,0 +1,220 @@
+"""The cluster catalog: logical collections, shards, and replicas.
+
+A *collection* is one logical XML document (e.g. the XMark people
+document) partitioned into *shards*, each of which is a self-contained
+fragment document stored on ``replication_factor`` peers. Queries
+address the collection through a virtual host name::
+
+    doc("xrpc://people-c/people.xml")
+
+and never name shards or replicas; the router resolves the virtual
+host through this catalog at execution time.
+
+Membership is **epoch-versioned**: every mutation (registering or
+dropping a collection, replica health transitions) bumps the catalog
+epoch. The epoch is woven into the runtime's cache keys so responses
+computed against an older shard layout can never be served after a
+repartition.
+
+Replica health is advisory: :meth:`ClusterCatalog.mark_down` removes a
+peer from replica selection without touching placements, and
+:meth:`mark_up` heals it. The router additionally fails over on live
+transport faults, so an un-marked dead replica costs one failed
+attempt, not a failed query.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+
+from repro.errors import NetworkError
+
+
+class ClusterError(NetworkError):
+    """Misconfigured or unsatisfiable cluster operation."""
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard of a collection: a fragment document replicated on
+    ``replicas`` (peer names; order is the preference order used to
+    break replica-selection ties)."""
+
+    index: int
+    local_name: str            # document name under which replicas store it
+    replicas: tuple[str, ...]
+    members: int = 0           # member elements held by this shard
+    low_key: str | None = None   # range partitioning bounds (informational)
+    high_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.replicas:
+            raise ClusterError(
+                f"shard {self.index} has no replica placement")
+
+
+@dataclass(frozen=True)
+class CollectionSpec:
+    """One sharded collection, addressable as ``xrpc://{name}/{document}``.
+
+    ``container_path`` names the element spine from the root to the
+    member container (e.g. ``("site", "people")``); ``member`` is the
+    member element name (e.g. ``"person"``). Shards partition the
+    member elements; shard 0 additionally carries all non-member
+    content, so the union of the shards is exactly the original
+    document.
+    """
+
+    name: str                   # virtual host name
+    document: str               # logical local document name
+    container_path: tuple[str, ...]
+    member: str
+    shards: tuple[ShardInfo, ...]
+    partitioning: str = "range"   # "range" | "hash"
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ClusterError(f"collection {self.name!r} has no shards")
+        if not self.container_path:
+            raise ClusterError(
+                f"collection {self.name!r} has an empty container path")
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def replica_peers(self) -> tuple[str, ...]:
+        """Every peer holding at least one replica, sorted."""
+        peers = {peer for shard in self.shards for peer in shard.replicas}
+        return tuple(sorted(peers))
+
+    @property
+    def order_stable(self) -> bool:
+        """True when concatenating per-shard results in shard order
+        reproduces the logical document order (range partitioning)."""
+        return self.partitioning == "range"
+
+
+class ClusterCatalog:
+    """Thread-safe registry of sharded collections.
+
+    ``max_scatter_parallelism`` caps how many shard calls one scatter
+    fans out at a time (the cluster's admission knob, tuned by
+    :class:`~repro.runtime.engine.FederationEngine`).
+    """
+
+    def __init__(self, max_scatter_parallelism: int = 8):
+        self.max_scatter_parallelism = max_scatter_parallelism
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._collections: dict[str, CollectionSpec] = {}
+        self._down: set[str] = set()
+
+    # -- membership ---------------------------------------------------------
+
+    def epoch(self) -> int:
+        """The membership epoch: bumped by every catalog mutation."""
+        with self._lock:
+            return self._epoch
+
+    def register(self, spec: CollectionSpec) -> None:
+        with self._lock:
+            if spec.name in self._collections:
+                raise ClusterError(
+                    f"collection {spec.name!r} already registered")
+            self._collections[spec.name] = spec
+            self._epoch += 1
+
+    def replace(self, spec: CollectionSpec) -> None:
+        """Swap a collection's layout (repartition / re-placement)."""
+        with self._lock:
+            if spec.name not in self._collections:
+                raise ClusterError(f"unknown collection {spec.name!r}")
+            self._collections[spec.name] = spec
+            self._epoch += 1
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            if self._collections.pop(name, None) is None:
+                raise ClusterError(f"unknown collection {name!r}")
+            self._epoch += 1
+
+    def get(self, name: str) -> CollectionSpec:
+        with self._lock:
+            try:
+                return self._collections[name]
+            except KeyError:
+                raise ClusterError(f"unknown collection {name!r}") from None
+
+    def lookup(self, host: str) -> CollectionSpec | None:
+        """The collection registered under virtual host ``host``, or
+        None when ``host`` is an ordinary peer name."""
+        with self._lock:
+            return self._collections.get(host)
+
+    def collections(self) -> list[CollectionSpec]:
+        with self._lock:
+            return list(self._collections.values())
+
+    # -- replica health -----------------------------------------------------
+
+    def mark_down(self, peer_name: str) -> None:
+        """Exclude ``peer_name`` from replica selection."""
+        with self._lock:
+            if peer_name not in self._down:
+                self._down.add(peer_name)
+                self._epoch += 1
+
+    def mark_up(self, peer_name: str) -> None:
+        with self._lock:
+            if peer_name in self._down:
+                self._down.discard(peer_name)
+                self._epoch += 1
+
+    def is_down(self, peer_name: str) -> bool:
+        with self._lock:
+            return peer_name in self._down
+
+    def down_peers(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._down)
+
+    def live_replicas(self, shard: ShardInfo) -> tuple[str, ...]:
+        """The shard's replicas not currently marked down (all of them
+        when every replica is marked down — a dead cluster should fail
+        on the wire, not silently on an empty candidate list)."""
+        with self._lock:
+            live = tuple(peer for peer in shard.replicas
+                         if peer not in self._down)
+        return live if live else shard.replicas
+
+    # -- introspection ------------------------------------------------------
+
+    def describe(self) -> dict[str, object]:
+        """A JSON-able snapshot for examples and benchmarks."""
+        with self._lock:
+            return {
+                "epoch": self._epoch,
+                "down": sorted(self._down),
+                "collections": {
+                    spec.name: {
+                        "document": spec.document,
+                        "partitioning": spec.partitioning,
+                        "shards": [
+                            {"index": s.index,
+                             "local_name": s.local_name,
+                             "replicas": list(s.replicas),
+                             "members": s.members}
+                            for s in spec.shards
+                        ],
+                    }
+                    for spec in self._collections.values()
+                },
+            }
+
+
+def with_replicas(shard: ShardInfo, replicas: tuple[str, ...]) -> ShardInfo:
+    """A copy of ``shard`` with a new replica placement."""
+    return replace(shard, replicas=replicas)

@@ -1,0 +1,383 @@
+"""The scatter-gather router: executing one logical call site against
+every shard of a collection.
+
+When a federated run reaches an XRPC call site (or a data-shipping
+document fetch) whose destination is a catalog virtual host, the
+router takes over:
+
+1. **rewrite** — the shipped body's ``doc("xrpc://{collection}/{doc}")``
+   references are rewritten per shard to the shard fragment's *local*
+   name (``doc("people.xml#s2")``), which resolves in the executing
+   replica's own document space. The rewritten request is therefore
+   byte-identical across replicas of one shard, so any replica can
+   serve any replica's cached response.
+2. **scatter** — one round trip per shard, fanned out over a bounded
+   thread pool (``catalog.max_scatter_parallelism``; the transport's
+   per-peer gates still bound per-replica pressure). Each shard call
+   gets a private :class:`RunStats` / :class:`CostCounter` so the
+   accounting stays race-free; they are merged in shard order after
+   the gather, keeping the run's totals deterministic.
+3. **replica selection** — per shard, live replicas (catalog health)
+   are ordered by the transport's live load (in-flight exchanges,
+   then total bytes served, then placement order), so the least-loaded
+   replica serves the call.
+4. **failover** — a :class:`~repro.errors.NetworkError` from the wire
+   (injected faults, killed peers) moves the call to the next replica
+   in the order; each switch increments ``RunStats.failovers``. Only
+   when every replica fails does the query fail.
+5. **gather** — :func:`~repro.cluster.gather.gather_plan` picks the
+   combinator: shard-major concatenation for map-shaped bodies
+   (document order under range partitioning), addition for
+   ``count``/``sum`` aggregates (the pushdown keeps N numbers, not N
+   member sequences, on the wire), OR/AND for ``some``/``every``.
+   Bodies with global order/position semantics (``order by``,
+   positional predicates, ``position()``) are *not* scattered: they
+   fall back to exact evaluation at the originator over the merged
+   collection document.
+
+Scatter-safety contract: a sharded collection is addressed through its
+*members* (the partitioned elements). Queries returning spine elements
+(e.g. the container itself) see one copy per shard — the standard
+scatter-gather caveat, documented rather than policed.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+from repro.cluster.catalog import (
+    ClusterCatalog, ClusterError, CollectionSpec, ShardInfo,
+)
+from repro.cluster.gather import gather_plan, merge_shard_documents
+from repro.errors import NetworkError
+from repro.net.stats import RunStats
+from repro.xmldb.document import Document, fresh_doc_seq
+from repro.xmldb.node import Node
+from repro.xmldb.parser import parse_document
+from repro.xquery.ast import Expr, FunCall, LetExpr, Literal, XRPCExpr
+from repro.xquery.context import CostCounter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.system.federation import _Run
+
+XRPC_SCHEME = "xrpc://"
+
+_DOC_FUNCTIONS = ("doc", "fn:doc")
+
+
+def rewrite_doc_uris(expr: Expr,
+                     mapping: Callable[[str], str | None]) -> Expr:
+    """Rebuild ``expr`` with every literal ``doc(uri)`` argument passed
+    through ``mapping`` (None keeps the original URI)."""
+    def visit(node: Expr) -> Expr:
+        if (isinstance(node, FunCall) and node.name in _DOC_FUNCTIONS
+                and len(node.args) == 1):
+            arg = node.args[0]
+            if isinstance(arg, Literal) and isinstance(arg.value, str):
+                replacement = mapping(arg.value)
+                if replacement is not None:
+                    return FunCall(node.name, [Literal(replacement)])
+        return node.replace_children(visit)
+    return visit(expr)
+
+
+def unwrap_collection_xrpc(expr: Expr, collection: str) -> Expr:
+    """Inline nested ``execute at`` wrappers that target ``collection``.
+
+    A scattered body already runs *at* the shard replica; a nested
+    XRPCExpr still aiming at the virtual host (the decomposer inserts
+    one when the user wrote a literal ``execute at`` around the
+    collection reference) would re-scatter from the replica with
+    already-shard-local URIs — wrong on every shard but its own. The
+    wrapper's parameter bindings become ``let``s, so the body is
+    evaluated in place with identical semantics.
+    """
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, XRPCExpr) and isinstance(node.dest, Literal) \
+                and isinstance(node.dest.value, str):
+            host = node.dest.value
+            if host.startswith(XRPC_SCHEME):
+                host = host[len(XRPC_SCHEME):].split("/", 1)[0]
+            if host == collection:
+                inlined: Expr = node.body.replace_children(visit)
+                for param in reversed(node.params):
+                    inlined = LetExpr(param.name, param.value, inlined)
+                return inlined
+        return node.replace_children(visit)
+    return visit(expr)
+
+
+def split_xrpc_uri(uri: str) -> tuple[str, str] | None:
+    """``(host, local_name)`` of an ``xrpc://host/local`` URI."""
+    if not uri.startswith(XRPC_SCHEME):
+        return None
+    rest = uri[len(XRPC_SCHEME):]
+    if "/" not in rest:
+        return None
+    host, local_name = rest.split("/", 1)
+    return host, local_name
+
+
+def _renumber_shard_fragments(outcomes: list["ScatterOutcome"]) -> None:
+    """Reassign the response fragments' document sequence numbers in
+    shard order.
+
+    ``doc_seq`` (the inter-document order tie-break) is allocated at
+    parse time, and concurrent scatter threads parse their responses in
+    whatever order the wire finishes — so without renumbering, a later
+    document-order sort (a local path step over the gathered items, a
+    ``union``, ``<<``) could interleave shards arbitrarily. The
+    fragments are query-private (unmarshalling always shreds fresh
+    documents, even on cache hits), so the mutation is race-free; the
+    relative order of multiple fragments within one shard's response is
+    preserved.
+    """
+    for outcome in outcomes:
+        docs: dict[int, Document] = {}
+        for items in outcome.results:
+            for item in items:
+                if isinstance(item, Node):
+                    docs.setdefault(id(item.doc), item.doc)
+        for doc in sorted(docs.values(), key=lambda d: d.doc_seq):
+            doc.doc_seq = fresh_doc_seq()
+
+
+class ScatterOutcome:
+    """One shard call's private accounting, merged after the gather."""
+
+    __slots__ = ("results", "stats", "counter", "failovers")
+
+    def __init__(self) -> None:
+        self.results: list[list] = []
+        self.stats = RunStats()
+        self.counter = CostCounter()
+        self.failovers = 0
+
+
+class ClusterRouter:
+    """Routes one run's logical call sites through the catalog.
+
+    Stateless beyond the run it serves; construction is cheap, so the
+    federation builds one per logical call site.
+    """
+
+    def __init__(self, run: "_Run", catalog: ClusterCatalog):
+        self.run = run
+        self.catalog = catalog
+        self.transport = run.transport
+
+    # -- replica selection --------------------------------------------------
+
+    def replica_order(self, shard: ShardInfo) -> list[str]:
+        """Live replicas, least-loaded first (in-flight exchanges, then
+        total bytes served, then placement order as the deterministic
+        tie-break)."""
+        live = self.catalog.live_replicas(shard)
+        loads = self.transport.peer_loads()
+
+        def load_key(peer: str) -> tuple[int, int, int]:
+            in_flight, total_bytes = loads.get(peer, (0, 0))
+            return (in_flight, total_bytes, shard.replicas.index(peer))
+
+        return sorted(live, key=load_key)
+
+    # -- scatter-gather over XRPC -------------------------------------------
+
+    def scatter(self, from_peer: str, spec: CollectionSpec,
+                calls: list[list[tuple[str, list]]],
+                body: Expr,
+                stats: RunStats | None = None,
+                counter: CostCounter | None = None) -> list[list]:
+        """Execute one XRPC call site against every shard and gather.
+
+        Bodies that are not scatter-safe (global order/position
+        constructs, non-additive aggregates, collection re-references
+        outside generator position) are instead evaluated at the
+        originator over the merged collection document — exact
+        semantics at data-shipping cost.
+
+        ``stats``/``counter`` are the caller's accounting targets (the
+        run's by default; a shard call's private ones when this call
+        site is nested inside another scatter).
+        """
+        epoch = self.catalog.epoch()
+        body = unwrap_collection_xrpc(body, spec.name)
+        combine = gather_plan(body, spec.name)
+        if combine is None:
+            return self._evaluate_locally(from_peer, calls, body,
+                                          stats=stats, counter=counter)
+
+        # Shard bodies are built (and their projection specs registered)
+        # up front on the caller's thread: the spec dict and the AST are
+        # then only read by the scatter workers.
+        proj_spec = self.run.projection_specs.get(id(body))
+        shard_bodies: list[Expr] = []
+        for shard in spec.shards:
+            shard_body = rewrite_doc_uris(
+                body, lambda uri, s=shard: self._map_uri(uri, spec, s))
+            if proj_spec is not None:
+                self.run.projection_specs[id(shard_body)] = proj_spec
+            shard_bodies.append(shard_body)
+
+        def call_shard(index: int) -> ScatterOutcome:
+            shard = spec.shards[index]
+            outcome = ScatterOutcome()
+            scope = f"{spec.name}#s{shard.index}"
+            outcome.results = self._with_failover(
+                shard, outcome,
+                lambda replica: self.run._round_trip(
+                    from_peer, replica, calls, shard_bodies[index],
+                    cache_scope=scope, shard_epoch=epoch,
+                    stats=outcome.stats, remote_counter=outcome.counter))
+            return outcome
+
+        try:
+            outcomes = self._fan_out(len(spec.shards), call_shard)
+        finally:
+            # The shard ASTs are per-scatter temporaries; their id()
+            # keys must not outlive them (a later allocation could
+            # reuse the address and falsely inherit the spec).
+            if proj_spec is not None:
+                for shard_body in shard_bodies:
+                    self.run.projection_specs.pop(id(shard_body), None)
+        self._merge_outcomes(outcomes, shards=len(spec.shards),
+                             stats=stats, counter=counter)
+        _renumber_shard_fragments(outcomes)
+        return combine([outcome.results for outcome in outcomes])
+
+    # -- cluster document fetch (data shipping) -----------------------------
+
+    def fetch_collection_document(self, spec: CollectionSpec,
+                                  local_name: str, requester: str,
+                                  stats: RunStats | None = None
+                                  ) -> tuple[Document, int]:
+        """Ship every shard from a live replica and reassemble the
+        logical document. Returns ``(document, total wire bytes)``."""
+        if local_name != spec.document:
+            raise ClusterError(
+                f"collection {spec.name!r} has no document "
+                f"{local_name!r} (expected {spec.document!r})")
+
+        def fetch_shard(index: int) -> ScatterOutcome:
+            shard = spec.shards[index]
+            outcome = ScatterOutcome()
+
+            def attempt(replica: str) -> list:
+                peer = self.run.federation.peer(replica)
+                text = self.transport.fetch_document(
+                    peer, shard.local_name, outcome.stats)
+                return [text]
+
+            outcome.results = self._with_failover(shard, outcome, attempt)
+            return outcome
+
+        outcomes = self._fan_out(len(spec.shards), fetch_shard)
+        self._merge_outcomes(outcomes, shards=len(spec.shards),
+                             stats=stats)
+        texts = [outcome.results[0] for outcome in outcomes]
+        shard_docs = [
+            parse_document(text,
+                           uri=f"{XRPC_SCHEME}{spec.name}/{shard.local_name}")
+            for text, shard in zip(texts, spec.shards)
+        ]
+        merged = merge_shard_documents(
+            shard_docs, uri=f"{XRPC_SCHEME}{spec.name}/{local_name}",
+            container_path=spec.container_path)
+        return merged, sum(len(text.encode()) for text in texts)
+
+    # -- local fallback ------------------------------------------------------
+
+    def _evaluate_locally(self, from_peer: str,
+                          calls: list[list[tuple[str, list]]],
+                          body: Expr,
+                          stats: RunStats | None = None,
+                          counter: CostCounter | None = None) -> list[list]:
+        """Evaluate a non-scatter-safe body at the originator, with the
+        collection resolved through the run's document resolver (which
+        ships and merges the shards, with caching and failover). Exact
+        semantics, data-shipping cost — the safety valve for global
+        order/position constructs."""
+        from repro.xquery.context import DynamicContext
+        from repro.xquery.evaluator import Evaluator
+
+        run = self.run
+        evaluator = Evaluator(run.decomposition.module,
+                              run.federation.static)
+        results: list[list] = []
+        for params in calls:
+            env = DynamicContext(
+                variables={name: value for name, value in params},
+                resolve_doc=run._resolver(from_peer, stats=stats),
+                xrpc_execute=run._make_xrpc_execute(from_peer, stats=stats,
+                                                    counter=counter),
+                counter=run.local_counter,
+            )
+            results.append(evaluator.evaluate(body, env))
+        return results
+
+    # -- internals ----------------------------------------------------------
+
+    def _map_uri(self, uri: str, spec: CollectionSpec,
+                 shard: ShardInfo) -> str | None:
+        parts = split_xrpc_uri(uri)
+        if parts is None or parts[0] != spec.name:
+            return None
+        if parts[1] != spec.document:
+            raise ClusterError(
+                f"collection {spec.name!r} has no document {parts[1]!r} "
+                f"(expected {spec.document!r})")
+        # Relative URI: resolves in the executing replica's own document
+        # space, keeping the request byte-identical across replicas.
+        return shard.local_name
+
+    def _with_failover(self, shard: ShardInfo, outcome: ScatterOutcome,
+                       attempt: Callable[[str], list]) -> list:
+        """Run ``attempt`` against replicas in load order; wire faults
+        fail over to the next replica (counted), query-level errors
+        propagate immediately."""
+        order = self.replica_order(shard)
+        last_error: NetworkError | None = None
+        for position, replica in enumerate(order):
+            try:
+                return attempt(replica)
+            except NetworkError as exc:
+                last_error = exc
+                if position + 1 < len(order):
+                    outcome.failovers += 1
+        raise ClusterError(
+            f"all {len(order)} replicas of shard {shard.index} "
+            f"({', '.join(order)}) failed") from last_error
+
+    def _fan_out(self, count: int,
+                 call: Callable[[int], ScatterOutcome]
+                 ) -> list[ScatterOutcome]:
+        """Run ``call(0..count-1)`` with bounded parallelism, results in
+        shard order. The pool is per-scatter (threads are cheap at this
+        fan-out, and a shared pool could deadlock on nested scatters)."""
+        parallelism = min(count, max(1, self.catalog.max_scatter_parallelism))
+        if parallelism <= 1 or count <= 1:
+            return [call(index) for index in range(count)]
+        with ThreadPoolExecutor(
+                max_workers=parallelism,
+                thread_name_prefix="cluster-scatter") as pool:
+            return list(pool.map(call, range(count)))
+
+    def _merge_outcomes(self, outcomes: list[ScatterOutcome],
+                        shards: int,
+                        stats: RunStats | None = None,
+                        counter: CostCounter | None = None) -> None:
+        """Fold the shard calls' private accounting into the caller's
+        targets (the run's by default), in shard order — deterministic
+        totals under concurrency."""
+        if stats is None:
+            stats = self.run.stats
+        if counter is None:
+            counter = self.run.remote_counter
+        stats.scatter_shards += shards
+        for outcome in outcomes:
+            stats.merge(outcome.stats)
+            stats.failovers += outcome.failovers
+            counter.ticks += outcome.counter.ticks
+            counter.nodes_visited += outcome.counter.nodes_visited
+            counter.docs_opened += outcome.counter.docs_opened

@@ -48,6 +48,8 @@ class RunStats:
     documents_shipped: int = 0
     cache_hits: int = 0          # round trips / shipments served from
     cache_saved_bytes: int = 0   # the runtime's shared result cache
+    scatter_shards: int = 0      # per-shard calls issued by the cluster
+    failovers: int = 0           # replica switches after wire faults
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
 
     @property
@@ -63,6 +65,26 @@ class RunStats:
         self.message_bytes += size
         self.messages += 1
 
+    def merge(self, other: "RunStats") -> None:
+        """Fold another accounting into this one (the cluster router
+        gives each scattered shard call a private RunStats and merges
+        them in shard order, keeping totals deterministic under
+        concurrency)."""
+        self.document_bytes += other.document_bytes
+        self.message_bytes += other.message_bytes
+        self.messages += other.messages
+        self.rpc_calls += other.rpc_calls
+        self.documents_shipped += other.documents_shipped
+        self.cache_hits += other.cache_hits
+        self.cache_saved_bytes += other.cache_saved_bytes
+        self.scatter_shards += other.scatter_shards
+        self.failovers += other.failovers
+        self.times.shred += other.times.shred
+        self.times.local_exec += other.times.local_exec
+        self.times.serialize += other.times.serialize
+        self.times.remote_exec += other.times.remote_exec
+        self.times.network += other.times.network
+
     def summary(self) -> dict[str, object]:
         return {
             "total_transferred_bytes": self.total_transferred_bytes,
@@ -73,6 +95,8 @@ class RunStats:
             "documents_shipped": self.documents_shipped,
             "cache_hits": self.cache_hits,
             "cache_saved_bytes": self.cache_saved_bytes,
+            "scatter_shards": self.scatter_shards,
+            "failovers": self.failovers,
             "total_time_s": self.times.total,
             "times": self.times.as_dict(),
         }

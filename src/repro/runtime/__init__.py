@@ -22,8 +22,8 @@ from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import EngineClosedError, FederationEngine
 from repro.runtime.metrics import MetricsAggregator, QueryRecord, percentile
 from repro.runtime.transport import (Exchange, FaultInjectedError,
-                                     LoopbackTransport, SimulatedTransport,
-                                     Transport)
+                                     LoopbackTransport, PeerDownError,
+                                     SimulatedTransport, Transport)
 
 __all__ = [
     "BulkBatcher",
@@ -31,5 +31,5 @@ __all__ = [
     "EngineClosedError", "FederationEngine",
     "MetricsAggregator", "QueryRecord", "percentile",
     "Exchange", "FaultInjectedError", "LoopbackTransport",
-    "SimulatedTransport", "Transport",
+    "PeerDownError", "SimulatedTransport", "Transport",
 ]

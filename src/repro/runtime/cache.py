@@ -36,25 +36,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.xmldb.document import Document
 
 #: Key of one response entry:
-#: (dest peer, semantics, request digest, projection sig).
-ResponseKey = tuple[str, str, str, tuple[str, ...]]
+#: (dest scope, semantics, request digest, projection sig, shard epoch).
+ResponseKey = tuple[str, str, str, tuple[str, ...], int]
 
 
 def response_key(dest: str, semantics: str, request_xml: str,
                  used_paths: list[str] | None,
-                 returned_paths: list[str] | None) -> ResponseKey:
+                 returned_paths: list[str] | None,
+                 shard_epoch: int | None = None) -> ResponseKey:
     """Cache key for one round trip's response.
 
     ``semantics`` must be part of the key: the request XML carries no
     semantics marker (the handler receives it out-of-band), so by-value
     and by-fragment runs of the same query produce byte-identical
     requests whose responses use different wire formats.
+
+    For cluster scatter calls ``dest`` is the logical shard identity
+    (``collection#sN``, not the replica that served it — replicas hold
+    identical fragments, so any replica's response serves all) and
+    ``shard_epoch`` is the catalog membership epoch, so entries from
+    before a repartition can never be served after it. Plain
+    peer-to-peer calls use ``-1``.
     """
     digest = hashlib.sha256(request_xml.encode()).hexdigest()
     signature = tuple(
         [f"u:{p}" for p in used_paths or []]
         + [f"r:{p}" for p in returned_paths or []])
-    return (dest, semantics, digest, signature)
+    return (dest, semantics, digest, signature,
+            -1 if shard_epoch is None else shard_epoch)
 
 
 @dataclass

@@ -85,6 +85,8 @@ class MetricsAggregator:
         simulated_s = sum(r.stats.times.total for r in completed)
         cache_hits = sum(r.stats.cache_hits for r in completed)
         cache_saved = sum(r.stats.cache_saved_bytes for r in completed)
+        scatter_shards = sum(r.stats.scatter_shards for r in completed)
+        failovers = sum(r.stats.failovers for r in completed)
         return {
             "queries": len(completed),
             "failed": failed,
@@ -100,6 +102,8 @@ class MetricsAggregator:
             "simulated_time_s": simulated_s,
             "cache_hits": cache_hits,
             "cache_saved_bytes": cache_saved,
+            "scatter_shards": scatter_shards,
+            "failovers": failovers,
         }
 
     def format_summary(self) -> str:
@@ -119,4 +123,8 @@ class MetricsAggregator:
             f"cache       : {summary['cache_hits']} hits, "
             f"{summary['cache_saved_bytes']} bytes saved",
         ]
+        if summary["scatter_shards"] or summary["failovers"]:
+            lines.append(
+                f"cluster     : {summary['scatter_shards']} shard calls, "
+                f"{summary['failovers']} failovers")
         return "\n".join(lines)

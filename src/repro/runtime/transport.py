@@ -44,6 +44,11 @@ class FaultInjectedError(NetworkError):
     """A transport-level fault injected by :class:`SimulatedTransport`."""
 
 
+class PeerDownError(NetworkError):
+    """The destination peer was killed via :meth:`Transport.kill_peer`
+    (the cluster layer's replica-failure drill)."""
+
+
 @dataclass
 class Exchange:
     """One completed request/response interaction on the wire."""
@@ -87,6 +92,8 @@ class Transport:
         self._lock = threading.Lock()
         self._counters: dict[str, _WireCounters] = {}
         self._gates: dict[str, threading.BoundedSemaphore] = {}
+        self._in_flight: dict[str, int] = {}
+        self._down: set[str] = set()
 
     # -- wire counters ------------------------------------------------------
 
@@ -115,6 +122,55 @@ class Transport:
                            "document_bytes": c.document_bytes,
                            "total_bytes": c.message_bytes + c.document_bytes}
                     for name, c in sorted(self._counters.items())}
+
+    # -- live load & peer health --------------------------------------------
+
+    def _enter_peer(self, peer_name: str) -> None:
+        with self._lock:
+            self._in_flight[peer_name] = self._in_flight.get(peer_name,
+                                                             0) + 1
+
+    def _exit_peer(self, peer_name: str) -> None:
+        with self._lock:
+            self._in_flight[peer_name] = self._in_flight.get(peer_name,
+                                                             1) - 1
+
+    def peer_load(self, peer_name: str) -> tuple[int, int]:
+        """``(in-flight exchanges, total bytes served)`` for one peer —
+        the live signal the cluster router ranks replicas by."""
+        with self._lock:
+            counter = self._counters.get(peer_name)
+            total = (counter.message_bytes + counter.document_bytes
+                     if counter is not None else 0)
+            return (self._in_flight.get(peer_name, 0), total)
+
+    def peer_loads(self) -> dict[str, tuple[int, int]]:
+        """One :meth:`peer_load` snapshot per peer ever contacted."""
+        with self._lock:
+            names = set(self._counters) | set(self._in_flight)
+            return {
+                name: (self._in_flight.get(name, 0),
+                       (self._counters[name].message_bytes
+                        + self._counters[name].document_bytes)
+                       if name in self._counters else 0)
+                for name in names
+            }
+
+    def kill_peer(self, peer_name: str) -> None:
+        """Make every future transmission to ``peer_name`` raise
+        :class:`PeerDownError` — the deterministic way to drill replica
+        failover (contrast with :class:`SimulatedTransport`'s random
+        fault plan)."""
+        with self._lock:
+            self._down.add(peer_name)
+
+    def revive_peer(self, peer_name: str) -> None:
+        with self._lock:
+            self._down.discard(peer_name)
+
+    def is_down(self, peer_name: str) -> bool:
+        with self._lock:
+            return peer_name in self._down
 
     # -- per-peer admission -------------------------------------------------
 
@@ -148,6 +204,9 @@ class Transport:
         re-enter the transport for other peers (holding a gate across
         ``handle`` would deadlock two queries shipping in opposite
         directions)."""
+        if self.is_down(peer_name):
+            raise PeerDownError(f"peer {peer_name!r} is down "
+                                f"({size} bytes undeliverable)")
         gate = self._gate(peer_name)
         if gate is not None:
             gate.acquire()
@@ -175,19 +234,29 @@ class Transport:
         arrival, exactly as the seed did inline. Callers that already
         serialised the request (for cache keys) pass ``request_xml`` to
         avoid a second ``to_xml`` of the full fragment preamble."""
+        if self.is_down(peer.name):
+            # Fail before charging: a failover retry would otherwise
+            # double-count the undelivered request in the caller's
+            # stats. (Mid-transmission faults do leave their charges —
+            # those bytes were genuinely attempted.)
+            raise PeerDownError(f"peer {peer.name!r} is down")
         if request_xml is None:
             request_xml = request.to_xml()
         request_bytes = len(request_xml.encode())
         self.charge_message(stats, request_bytes)
 
-        self._gated_transmit(peer.name, request_bytes)
-        # Wire counters record delivered traffic only — count after the
-        # transmit so injected faults don't inflate them.
-        self._count_message(peer.name, request_bytes)
-        response = handle(RequestMessage.from_xml(request_xml))
-        response_xml = response.to_xml()
-        response_bytes = len(response_xml.encode())
-        self._gated_transmit(peer.name, response_bytes)
+        self._enter_peer(peer.name)
+        try:
+            self._gated_transmit(peer.name, request_bytes)
+            # Wire counters record delivered traffic only — count after
+            # the transmit so injected faults don't inflate them.
+            self._count_message(peer.name, request_bytes)
+            response = handle(RequestMessage.from_xml(request_xml))
+            response_xml = response.to_xml()
+            response_bytes = len(response_xml.encode())
+            self._gated_transmit(peer.name, response_bytes)
+        finally:
+            self._exit_peer(peer.name)
 
         self.charge_message(stats, response_bytes)
         self._count_message(peer.name, response_bytes)
@@ -199,6 +268,9 @@ class Transport:
                        stats: RunStats) -> str:
         """Data shipping: serialise a document at its owner and move the
         text over the wire (the caller shreds it)."""
+        if self.is_down(owner.name):
+            # A dead owner can't even serialise: fail before charging.
+            raise PeerDownError(f"peer {owner.name!r} is down")
         text = owner.serialized(local_name)
         size = len(text.encode())
         model = self.cost_model
@@ -206,7 +278,11 @@ class Transport:
         stats.times.serialize += model.serialize_time(size)
         stats.times.network += model.network_time(size)
         stats.times.shred += model.shred_time(size)
-        self._gated_transmit(owner.name, size)
+        self._enter_peer(owner.name)
+        try:
+            self._gated_transmit(owner.name, size)
+        finally:
+            self._exit_peer(owner.name)
         self._count_document(owner.name, size)
         return text
 

@@ -14,6 +14,12 @@ pluggable :class:`~repro.runtime.transport.Transport` (in-process
 loopback by default); :class:`~repro.runtime.engine.FederationEngine`
 runs many queries concurrently over one federation, so peers are
 thread-safe and ``Peer.store`` notifies listeners (cache invalidation).
+
+Host resolution is catalog-aware: a destination registered in an
+attached :class:`~repro.cluster.catalog.ClusterCatalog` is a *virtual*
+host naming a sharded collection, and both XRPC round trips and
+data-shipping document fetches against it are routed through the
+cluster's scatter-gather :class:`~repro.cluster.router.ClusterRouter`.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.cluster.catalog import ClusterCatalog, CollectionSpec
+from repro.cluster.router import ClusterRouter
 from repro.decompose import DecompositionResult, Strategy, decompose
 from repro.errors import NetworkError, XQueryDynamicError
 from repro.net.costmodel import CostModel
@@ -148,16 +156,21 @@ class Federation:
 
     def __init__(self, cost_model: CostModel | None = None,
                  static: StaticContext | None = None,
-                 transport: Transport | None = None):
+                 transport: Transport | None = None,
+                 catalog: ClusterCatalog | None = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.static = static if static is not None else StaticContext()
         self.transport = (transport if transport is not None
                           else LoopbackTransport(self.cost_model))
         self.peers: dict[str, Peer] = {}
+        self.catalog = catalog
 
     def add_peer(self, name: str) -> Peer:
         if name in self.peers:
             raise NetworkError(f"peer {name!r} already exists")
+        if self.catalog is not None and self.catalog.lookup(name) is not None:
+            raise NetworkError(
+                f"peer name {name!r} collides with a cluster collection")
         peer = Peer(name)
         self.peers[name] = peer
         return peer
@@ -167,6 +180,21 @@ class Federation:
             return self.peers[name]
         except KeyError:
             raise NetworkError(f"unknown peer {name!r}") from None
+
+    def attach_catalog(self, catalog: ClusterCatalog) -> ClusterCatalog:
+        """Install the cluster catalog: host names registered in it are
+        resolved as sharded collections (scatter-gather) instead of
+        peers from now on."""
+        self.catalog = catalog
+        return catalog
+
+    def collection(self, host: str) -> CollectionSpec | None:
+        """Catalog-aware host resolution: the collection registered
+        under ``host``, or None when ``host`` is (or should be) an
+        ordinary peer."""
+        if self.catalog is None:
+            return None
+        return self.catalog.lookup(host)
 
     # -- execution ---------------------------------------------------------
 
@@ -258,12 +286,16 @@ class _Run:
 
     # -- document resolution (data shipping) -----------------------------------
 
-    def _resolver(self, peer_name: str):
+    def _resolver(self, peer_name: str, stats: RunStats | None = None):
+        """Document resolution at ``peer_name``; ``stats`` overrides the
+        accounting target so nested shipping triggered inside a scatter
+        worker charges that shard call's private RunStats."""
         def resolve(uri: str) -> Document:
             owner, local_name = self._locate(uri, peer_name)
             if owner == peer_name:
                 return self.federation.peer(owner).document(local_name)
-            return self._ship_document(owner, local_name, peer_name)
+            return self._ship_document(owner, local_name, peer_name,
+                                       stats=stats)
         return resolve
 
     def _locate(self, uri: str, requester: str) -> tuple[str, str]:
@@ -276,8 +308,15 @@ class _Run:
         return requester, uri
 
     def _ship_document(self, owner: str, local_name: str,
-                       requester: str) -> Document:
+                       requester: str,
+                       stats: RunStats | None = None) -> Document:
         """Data shipping: fetch, transfer, and shred a whole document."""
+        if stats is None:
+            stats = self.stats
+        spec = self.federation.collection(owner)
+        if spec is not None:
+            return self._ship_collection(spec, local_name, requester,
+                                         stats)
         key = (requester, f"{owner}/{local_name}")
         cached = self._shipped_docs.get(key)
         if cached is not None:
@@ -289,12 +328,12 @@ class _Run:
                                                       local_name)
             if entry is not None:
                 document, size = entry
-                self.stats.cache_hits += 1
-                self.stats.cache_saved_bytes += size
+                stats.cache_hits += 1
+                stats.cache_saved_bytes += size
                 self._shipped_docs[key] = document
                 return document
         text = self.transport.fetch_document(
-            self.federation.peer(owner), local_name, self.stats)
+            self.federation.peer(owner), local_name, stats)
         document = parse_document(
             text, uri=f"{XRPC_SCHEME}{owner}/{local_name}")
         self._shipped_docs[key] = document
@@ -304,12 +343,60 @@ class _Run:
                                              epoch=cache_epoch)
         return document
 
+    def _ship_collection(self, spec: CollectionSpec, local_name: str,
+                         requester: str, stats: RunStats) -> Document:
+        """Data shipping over a sharded collection: ship every shard
+        from a live replica (failing over on wire faults) and
+        reassemble the logical document. Cache entries are keyed by the
+        catalog's membership epoch so a repartition invalidates them."""
+        catalog = self.federation.catalog
+        assert catalog is not None
+        epoch = catalog.epoch()
+        key = (requester, f"{spec.name}/{local_name}@e{epoch}")
+        cached = self._shipped_docs.get(key)
+        if cached is not None:
+            return cached
+        cache_epoch = None
+        cache_name = None
+        if self.result_cache is not None:
+            cache_epoch = self.result_cache.epoch()
+            # The invalidation epoch is part of the name: peer stores
+            # can't target the collection scope (invalidate_peer keys
+            # on physical peer names), so any store anywhere must make
+            # merged-document entries unreachable — a shard re-store
+            # would otherwise serve a stale merge.
+            cache_name = f"{local_name}@e{epoch}.i{cache_epoch}"
+            entry = self.result_cache.lookup_document(requester, spec.name,
+                                                      cache_name)
+            if entry is not None:
+                document, size = entry
+                stats.cache_hits += 1
+                stats.cache_saved_bytes += size
+                self._shipped_docs[key] = document
+                return document
+        router = ClusterRouter(self, catalog)
+        document, size = router.fetch_collection_document(spec, local_name,
+                                                          requester,
+                                                          stats=stats)
+        self._shipped_docs[key] = document
+        if self.result_cache is not None and cache_name is not None:
+            self.result_cache.store_document(requester, spec.name,
+                                             cache_name, document, size,
+                                             epoch=cache_epoch)
+        return document
+
     # -- XRPC transport ---------------------------------------------------------
 
-    def _make_xrpc_execute(self, from_peer: str):
+    def _make_xrpc_execute(self, from_peer: str,
+                           stats: RunStats | None = None,
+                           counter: CostCounter | None = None):
+        """Nested ``execute at`` from ``from_peer``; ``stats`` /
+        ``counter`` carry a scatter worker's private accounting into
+        any remote work its shard body triggers."""
         def execute(dest: str, params: list[tuple[str, list]],
                     body: Expr) -> list:
-            results = self._round_trip(from_peer, dest, [params], body)
+            results = self._round_trip(from_peer, dest, [params], body,
+                                       stats=stats, remote_counter=counter)
             return results[0]
         return execute
 
@@ -326,15 +413,38 @@ class _Run:
 
     def _round_trip(self, from_peer: str, dest: str,
                     calls: list[list[tuple[str, list]]],
-                    body: Expr) -> list[list]:
+                    body: Expr,
+                    cache_scope: str | None = None,
+                    shard_epoch: int | None = None,
+                    stats: RunStats | None = None,
+                    remote_counter: CostCounter | None = None) -> list[list]:
         """One network interaction: marshal, ship, execute, ship back.
 
         The wire itself is the transport's job; this method builds the
         request, consults the shared result cache, and hands mergeable
         round trips to the cross-query batcher.
+
+        A destination registered in the cluster catalog is a *logical*
+        call site: the router scatters it into one round trip per shard
+        (re-entering this method with the physical replica as ``dest``)
+        and gathers the results. The keyword arguments exist for those
+        re-entrant shard calls: ``cache_scope``/``shard_epoch`` key the
+        response cache by shard identity + membership epoch instead of
+        the replica that happened to serve it, and ``stats`` /
+        ``remote_counter`` give each concurrent shard call private
+        accounting (merged deterministically after the gather).
         """
         dest_name = dest[len(XRPC_SCHEME):].split("/", 1)[0] \
             if dest.startswith(XRPC_SCHEME) else dest
+        if stats is None:
+            stats = self.stats
+        if remote_counter is None:
+            remote_counter = self.remote_counter
+        spec = self.federation.collection(dest_name)
+        if spec is not None:
+            router = ClusterRouter(self, self.federation.catalog)
+            return router.scatter(from_peer, spec, calls, body,
+                                  stats=stats, counter=remote_counter)
         peer = self.federation.peer(dest_name)  # raises on unknown peer
         model = self.federation.cost_model
 
@@ -372,17 +482,19 @@ class _Run:
         cache_key = cache_epoch = None
         if self.result_cache is not None:
             cache_epoch = self.result_cache.epoch()
-            cache_key = response_key(dest_name, self.semantics, request_xml,
-                                     used_paths, returned_paths)
+            cache_key = response_key(cache_scope or dest_name,
+                                     self.semantics, request_xml,
+                                     used_paths, returned_paths,
+                                     shard_epoch=shard_epoch)
             hit = self.result_cache.lookup_response(cache_key, request_bytes)
             if hit is not None:
                 # Served from the shared cache: nothing on the wire; the
                 # cached text is still shredded locally into fresh
                 # fragment documents, so node identity stays per-query.
-                self.stats.cache_hits += 1
-                self.stats.cache_saved_bytes += (request_bytes
-                                                 + len(hit.encode()))
-                self.stats.times.serialize += model.deserialize_time(
+                stats.cache_hits += 1
+                stats.cache_saved_bytes += (request_bytes
+                                            + len(hit.encode()))
+                stats.times.serialize += model.deserialize_time(
                     len(hit.encode()))
                 parsed = ResponseMessage.from_xml(hit)
                 return unmarshal_result(parsed.results, parsed.fragments,
@@ -391,10 +503,11 @@ class _Run:
         def make_handler() -> RequestHandler:
             return RequestHandler(
                 peer_name=peer.name,
-                resolve_doc=self._resolver(peer.name),
-                xrpc_execute=self._make_xrpc_execute(peer.name),
+                resolve_doc=self._resolver(peer.name, stats=stats),
+                xrpc_execute=self._make_xrpc_execute(
+                    peer.name, stats=stats, counter=remote_counter),
                 semantics=self.semantics,
-                counter=self.remote_counter,
+                counter=remote_counter,
             )
 
         if self.batcher is not None:
@@ -426,20 +539,20 @@ class _Run:
                 return exchange.response, exchange.response_xml
 
             response_xml = self.batcher.execute(key, calls, merged_exchange)
-            self.transport.charge_message(self.stats, request_bytes)
+            self.transport.charge_message(stats, request_bytes)
             response_bytes = len(response_xml.encode())
-            self.transport.charge_message(self.stats, response_bytes)
+            self.transport.charge_message(stats, response_bytes)
             parsed = ResponseMessage.from_xml(response_xml)
         else:
             exchange = self.transport.exchange(peer, request,
                                                make_handler().handle,
-                                               self.stats,
+                                               stats,
                                                request_xml=request_xml)
             response_xml = exchange.response_xml
             response_bytes = exchange.response_bytes
             parsed = exchange.response
 
-        self.stats.rpc_calls += len(calls)
+        stats.rpc_calls += len(calls)
         self.messages.append(MessageLog(
             dest=peer.name, calls=len(calls),
             request_bytes=request_bytes, response_bytes=response_bytes,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.cluster import ClusterCatalog, create_sharded_collection
 from repro.decompose import Strategy
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
@@ -142,23 +143,152 @@ class TenantJob:
 def multi_tenant_jobs(clients: int = 8, rounds: int = 2,
                       seed: int = 20090329,
                       strategy: Strategy = Strategy.BY_PROJECTION,
-                      at: str = "local") -> list[TenantJob]:
+                      at: str = "local",
+                      rng: random.Random | None = None,
+                      query_variant=benchmark_query_variant
+                      ) -> list[TenantJob]:
     """N clients × M rounds of benchmark-query variants.
 
     Each client draws its threshold per round from
-    :data:`TENANT_AGE_THRESHOLDS` with a seeded RNG: with more jobs
-    than thresholds, repeats are guaranteed, which is what makes the
-    workload exercise cross-query caching.
+    :data:`TENANT_AGE_THRESHOLDS` with an explicitly seeded
+    ``random.Random`` (pass ``rng`` to share one generator across
+    several calls; never the process-global ``random``), so a
+    benchmark cell's job list is byte-identical run to run. With more
+    jobs than thresholds, repeats are guaranteed, which is what makes
+    the workload exercise cross-query caching.
+
+    ``query_variant`` maps a threshold to the query text — the sharded
+    workload passes :func:`sharded_query_variant` to aim the same
+    tenant mix at a cluster.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     return [
         TenantJob(client=client, round=rnd,
-                  query=benchmark_query_variant(
-                      rng.choice(TENANT_AGE_THRESHOLDS)),
+                  query=query_variant(rng.choice(TENANT_AGE_THRESHOLDS)),
                   at=at, strategy=strategy)
         for rnd in range(rounds)
         for client in range(clients)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Sharded multi-tenant workload (cluster layer)
+# ---------------------------------------------------------------------------
+
+#: Virtual host names of the two benchmark collections.
+PEOPLE_COLLECTION = "people-c"
+AUCTIONS_COLLECTION = "auctions-c"
+
+def _to_sharded(query: str) -> str:
+    """Re-host a benchmark query text onto the sharded collections."""
+    return (query
+            .replace("xrpc://peer1/people.xml",
+                     f"xrpc://{PEOPLE_COLLECTION}/people.xml")
+            .replace("xrpc://peer2/auctions.xml",
+                     f"xrpc://{AUCTIONS_COLLECTION}/auctions.xml"))
+
+
+#: ``BENCHMARK_QUERY`` aimed at the sharded collections instead of the
+#: two single-owner peers: same query, N× the peers.
+SHARDED_BENCHMARK_QUERY = _to_sharded(BENCHMARK_QUERY)
+
+
+def sharded_query_variant(max_age: int = 40) -> str:
+    """``SHARDED_BENCHMARK_QUERY`` with the tenant's age threshold."""
+    return _to_sharded(benchmark_query_variant(max_age))
+
+
+def build_sharded_federation(scale: float, seed: int = 20090329,
+                             shard_count: int = 4,
+                             replication_factor: int = 2,
+                             node_count: int | None = None,
+                             partitioning: str = "range",
+                             cost_model: CostModel | None = None
+                             ) -> Federation:
+    """The cluster testbed: the same XMark pair as
+    :func:`build_federation`, but sharded over a fleet of data nodes.
+
+    Both documents are partitioned into ``shard_count`` shards placed
+    round-robin on ``node_count`` peers (default: one per shard) with
+    ``replication_factor`` replicas each, registered in an attached
+    :class:`~repro.cluster.catalog.ClusterCatalog`; queries address
+    ``xrpc://people-c/people.xml`` / ``xrpc://auctions-c/auctions.xml``
+    from the ``local`` originator.
+    """
+    people, auctions = generate_pair(
+        scale, seed,
+        people_uri=f"xrpc://{PEOPLE_COLLECTION}/people.xml",
+        auctions_uri=f"xrpc://{AUCTIONS_COLLECTION}/auctions.xml")
+    federation = Federation(cost_model=cost_model,
+                            catalog=ClusterCatalog())
+    if node_count is None:
+        node_count = shard_count
+    nodes = [f"node{index + 1}" for index in range(node_count)]
+    for node in nodes:
+        federation.add_peer(node)
+    federation.add_peer("local")
+    create_sharded_collection(
+        federation, federation.catalog, name=PEOPLE_COLLECTION,
+        document=people, document_name="people.xml",
+        container_path=("site", "people"), member="person",
+        shard_count=shard_count, replication_factor=replication_factor,
+        peers=nodes, partitioning=partitioning)
+    create_sharded_collection(
+        federation, federation.catalog, name=AUCTIONS_COLLECTION,
+        document=auctions, document_name="auctions.xml",
+        container_path=("site", "open_auctions"), member="open_auction",
+        shard_count=shard_count, replication_factor=replication_factor,
+        peers=nodes, partitioning=partitioning)
+    return federation
+
+
+#: A read-heavy tenant scan over the sharded people collection: tiny
+#: fixed request, response proportional to the matched members — the
+#: workload shape whose wire profile actually shrinks per shard (the
+#: semijoin's parameter-carrying requests are duplicated to every
+#: shard, so it scatters for capacity, not for message size).
+SHARDED_SCAN_QUERY = f"""
+for $p in doc("xrpc://{PEOPLE_COLLECTION}/people.xml")
+    /child::site/child::people/child::person
+return if ($p/child::age < 40) then $p else ()
+"""
+
+
+def sharded_scan_variant(max_age: int = 40) -> str:
+    """``SHARDED_SCAN_QUERY`` with the tenant's age threshold."""
+    anchor = "< 40"
+    if anchor not in SHARDED_SCAN_QUERY:
+        raise ValueError(
+            f"SHARDED_SCAN_QUERY no longer contains the {anchor!r} anchor")
+    return SHARDED_SCAN_QUERY.replace(anchor, f"< {max_age}")
+
+
+def sharded_scan_jobs(clients: int = 8, rounds: int = 2,
+                      seed: int = 20090329,
+                      strategy: Strategy = Strategy.BY_FRAGMENT,
+                      at: str = "local",
+                      rng: random.Random | None = None) -> list[TenantJob]:
+    """The tenant mix over :func:`sharded_scan_variant` — the cluster
+    benchmark's scaling workload."""
+    return multi_tenant_jobs(clients=clients, rounds=rounds, seed=seed,
+                             strategy=strategy, at=at, rng=rng,
+                             query_variant=sharded_scan_variant)
+
+
+def sharded_tenant_jobs(clients: int = 8, rounds: int = 2,
+                        seed: int = 20090329,
+                        strategy: Strategy = Strategy.BY_PROJECTION,
+                        at: str = "local",
+                        rng: random.Random | None = None
+                        ) -> list[TenantJob]:
+    """The multi-tenant tenant mix aimed at the sharded collections:
+    same thresholds, same seeded draw order as
+    :func:`multi_tenant_jobs`, so sharded and single-owner cells of a
+    benchmark sweep execute the same logical workload."""
+    return multi_tenant_jobs(clients=clients, rounds=rounds, seed=seed,
+                             strategy=strategy, at=at, rng=rng,
+                             query_variant=sharded_query_variant)
 
 
 def run_multi_tenant(federation: Federation, jobs: list[TenantJob],

@@ -28,6 +28,15 @@ from repro.xmldb.node import Node, NodeKind
 _doc_sequence = itertools.count()
 
 
+def fresh_doc_seq() -> int:
+    """Allocate the next document sequence number (inter-document
+    order tie-break). The cluster gather renumbers shard response
+    fragments in shard order with this, so document order across
+    shards is shard-major regardless of which scatter thread happened
+    to parse its response first."""
+    return next(_doc_sequence)
+
+
 class Document:
     """One shredded XML tree (document or parentless fragment).
 

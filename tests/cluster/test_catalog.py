@@ -1,0 +1,107 @@
+"""Catalog semantics: registration, epoch versioning, replica health."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterCatalog, ClusterError, CollectionSpec, ShardInfo,
+)
+
+
+def spec(name: str = "c", shards: int = 2) -> CollectionSpec:
+    return CollectionSpec(
+        name=name, document="d.xml", container_path=("root", "items"),
+        member="item",
+        shards=tuple(
+            ShardInfo(index=i, local_name=f"d.xml#s{i}",
+                      replicas=(f"p{i}", f"p{i + 1}"))
+            for i in range(shards)))
+
+
+def test_register_lookup_and_get():
+    catalog = ClusterCatalog()
+    catalog.register(spec("c1"))
+    assert catalog.lookup("c1").name == "c1"
+    assert catalog.get("c1").shard_count == 2
+    assert catalog.lookup("unknown-host") is None
+    with pytest.raises(ClusterError):
+        catalog.get("unknown-host")
+
+
+def test_duplicate_registration_rejected():
+    catalog = ClusterCatalog()
+    catalog.register(spec("c1"))
+    with pytest.raises(ClusterError):
+        catalog.register(spec("c1"))
+
+
+def test_epoch_bumps_on_every_mutation():
+    catalog = ClusterCatalog()
+    epochs = [catalog.epoch()]
+    catalog.register(spec("c1"))
+    epochs.append(catalog.epoch())
+    catalog.replace(spec("c1", shards=3))
+    epochs.append(catalog.epoch())
+    catalog.mark_down("p1")
+    epochs.append(catalog.epoch())
+    catalog.mark_up("p1")
+    epochs.append(catalog.epoch())
+    catalog.drop("c1")
+    epochs.append(catalog.epoch())
+    assert epochs == sorted(set(epochs)), "every mutation bumps the epoch"
+
+
+def test_mark_down_is_idempotent_for_the_epoch():
+    catalog = ClusterCatalog()
+    catalog.mark_down("p1")
+    epoch = catalog.epoch()
+    catalog.mark_down("p1")       # already down: no membership change
+    assert catalog.epoch() == epoch
+    catalog.mark_up("p2")         # already up: no membership change
+    assert catalog.epoch() == epoch
+
+
+def test_replace_and_drop_require_registration():
+    catalog = ClusterCatalog()
+    with pytest.raises(ClusterError):
+        catalog.replace(spec("ghost"))
+    with pytest.raises(ClusterError):
+        catalog.drop("ghost")
+
+
+def test_live_replicas_skip_down_peers():
+    catalog = ClusterCatalog()
+    shard = spec().shards[0]          # replicas (p0, p1)
+    assert catalog.live_replicas(shard) == ("p0", "p1")
+    catalog.mark_down("p0")
+    assert catalog.live_replicas(shard) == ("p1",)
+    # All replicas down: selection falls back to the full set so the
+    # failure surfaces on the wire, not as an empty candidate list.
+    catalog.mark_down("p1")
+    assert catalog.live_replicas(shard) == ("p0", "p1")
+
+
+def test_spec_validation():
+    with pytest.raises(ClusterError):
+        CollectionSpec(name="c", document="d", container_path=("r",),
+                       member="m", shards=())
+    with pytest.raises(ClusterError):
+        ShardInfo(index=0, local_name="x", replicas=())
+
+
+def test_describe_snapshot():
+    catalog = ClusterCatalog()
+    catalog.register(spec("c1"))
+    catalog.mark_down("p9")
+    snap = catalog.describe()
+    assert snap["down"] == ["p9"]
+    assert snap["collections"]["c1"]["shards"][0]["replicas"] == ["p0", "p1"]
+
+
+def test_collection_properties():
+    s = spec()
+    assert s.replica_peers == ("p0", "p1", "p2")
+    assert s.order_stable          # range by default
+    hashed = CollectionSpec(name="h", document="d", container_path=("r",),
+                            member="m", shards=s.shards,
+                            partitioning="hash")
+    assert not hashed.order_stable

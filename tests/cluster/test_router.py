@@ -1,0 +1,203 @@
+"""Router mechanics: URI rewrite, scatter, aggregate pushdown, and
+shard-identity response caching."""
+
+import pytest
+
+from repro.cluster import ClusterError, rewrite_doc_uris
+from repro.decompose import Strategy
+from repro.errors import NetworkError
+from repro.runtime import FederationEngine
+from repro.xquery.ast import FunCall, Literal
+from repro.xquery.parser import parse_query
+from repro.xquery.pretty import pretty
+from repro.xquery.xdm import serialize_sequence
+
+SCAN = ('doc("xrpc://books-c/books.xml")'
+        "/child::library/child::books/child::book/child::title")
+SCAN_OWNER = SCAN.replace("xrpc://books-c", "xrpc://owner")
+COUNT = ('count(doc("xrpc://books-c/books.xml")'
+         "/child::library/child::books/child::book)")
+SUM = ('sum(doc("xrpc://books-c/books.xml")'
+       "/child::library/child::books/child::book/child::pages)")
+
+
+def test_rewrite_doc_uris_targets_only_mapped_literals():
+    module = parse_query(
+        'doc("xrpc://books-c/books.xml")/child::a union '
+        'doc("xrpc://other/d.xml")/child::b')
+    mapping = {"xrpc://books-c/books.xml": "books.xml#s1"}
+    rewritten = rewrite_doc_uris(module.body, mapping.get)
+    text = pretty(rewritten)
+    assert 'doc("books.xml#s1")' in text
+    assert 'doc("xrpc://other/d.xml")' in text
+    # Non-literal and non-doc calls are left alone.
+    call = FunCall("concat", [Literal("xrpc://books-c/books.xml")])
+    assert rewrite_doc_uris(call, mapping.get) is call
+
+
+def test_scatter_matches_single_owner(cluster, single_owner):
+    expected = single_owner.run(SCAN_OWNER, at="local",
+                                strategy=Strategy.BY_PROJECTION)
+    result = cluster.run(SCAN, at="local", strategy=Strategy.BY_PROJECTION)
+    assert serialize_sequence(result.items) \
+        == serialize_sequence(expected.items)
+    assert result.stats.scatter_shards == 4
+    # One request/response per shard, all to fleet nodes.
+    assert {m.dest for m in result.messages} <= {"node1", "node2",
+                                                 "node3", "node4"}
+
+
+def test_aggregate_pushdown_count_and_sum(cluster):
+    count = cluster.run(COUNT, at="local", strategy=Strategy.BY_FRAGMENT)
+    assert count.items == [10]
+    assert count.stats.scatter_shards == 4
+    total = cluster.run(SUM, at="local", strategy=Strategy.BY_FRAGMENT)
+    assert total.items == [sum(100 + 10 * i for i in range(10))]
+    # Pushdown ships per-shard numbers, not member sequences: every
+    # response is tiny compared to the scan's member-bearing ones.
+    scan = cluster.run(SCAN, at="local", strategy=Strategy.BY_FRAGMENT)
+    max_count_response = max(m.response_bytes for m in count.messages)
+    max_scan_response = max(m.response_bytes for m in scan.messages)
+    assert max_count_response < max_scan_response
+
+
+def test_unknown_collection_document_rejected(cluster):
+    with pytest.raises((ClusterError, NetworkError)):
+        cluster.run('doc("xrpc://books-c/wrong.xml")/child::library',
+                    at="local", strategy=Strategy.BY_PROJECTION)
+
+
+def test_collection_name_collisions_rejected(cluster):
+    with pytest.raises(NetworkError):
+        cluster.add_peer("books-c")
+
+
+def test_response_cache_keys_by_shard_identity(cluster):
+    """Any replica's cached response serves every replica: after the
+    first run populates the cache, the whole fleet can die and the
+    query is still answered (no wire traffic at all)."""
+    with FederationEngine(cluster, max_workers=2,
+                          batch_window_s=0) as engine:
+        first = engine.submit(SCAN, at="local").result()
+        assert first.stats.cache_hits == 0
+        for node in ("node1", "node2", "node3", "node4"):
+            engine.transport.kill_peer(node)
+        second = engine.submit(SCAN, at="local").result()
+        assert serialize_sequence(second.items) \
+            == serialize_sequence(first.items)
+        assert second.stats.cache_hits == 4
+        assert second.stats.failovers == 0
+
+
+def test_catalog_epoch_invalidates_cached_responses(cluster):
+    with FederationEngine(cluster, max_workers=2,
+                          batch_window_s=0) as engine:
+        engine.submit(SCAN, at="local").result()
+        hits_before = engine.cache.stats.hits
+        cluster.catalog.mark_down("node9")   # membership epoch bump
+        third = engine.submit(SCAN, at="local").result()
+        # New epoch -> new cache keys -> recomputed on the wire.
+        assert third.stats.cache_hits == 0
+        assert engine.cache.stats.hits == hits_before
+
+
+def test_data_shipping_merges_and_caches_collection(cluster, single_owner):
+    expected = single_owner.run(SCAN_OWNER, at="local",
+                                strategy=Strategy.DATA_SHIPPING)
+    with FederationEngine(cluster, max_workers=2,
+                          batch_window_s=0) as engine:
+        first = engine.submit(SCAN, at="local",
+                              strategy=Strategy.DATA_SHIPPING).result()
+        assert serialize_sequence(first.items) \
+            == serialize_sequence(expected.items)
+        assert first.stats.documents_shipped == 4   # one per shard
+        second = engine.submit(SCAN, at="local",
+                               strategy=Strategy.DATA_SHIPPING).result()
+        assert second.stats.cache_hits >= 1          # merged doc reused
+        assert second.stats.documents_shipped == 0
+
+
+def test_collection_reference_outside_generator_falls_back(cluster,
+                                                           single_owner):
+    """Regression: a body that re-opens the collection in consumer
+    position (here: a global count inside the loop body) must not be
+    scattered — each shard would see only its slice of the count. The
+    router falls back to the merged document instead."""
+    template = ('for $b in doc("{host}/books.xml")'
+                "/child::library/child::books/child::book "
+                'return if (count(doc("{host}/books.xml")'
+                "/child::library/child::books/child::book) > 5) "
+                "then $b/child::title else ()")
+    sharded = cluster.run(template.format(host="xrpc://books-c"),
+                          at="local", strategy=Strategy.BY_FRAGMENT)
+    baseline = single_owner.run(template.format(host="xrpc://owner"),
+                                at="local", strategy=Strategy.BY_FRAGMENT)
+    # Global count is 10 > 5, so every title comes back.
+    assert len(baseline.items) == 10
+    assert serialize_sequence(sharded.items) \
+        == serialize_sequence(baseline.items)
+    # The fallback data-ships the shards rather than scattering.
+    assert sharded.stats.documents_shipped == 4
+
+
+def test_shard_restore_invalidates_merged_document_cache(cluster):
+    """Regression: merged-document cache entries live under the
+    collection scope, which peer-store invalidation can't target by
+    name — the invalidation epoch woven into the entry name must make
+    them unreachable after any store."""
+    from repro.xmldb.parser import parse_document
+    COUNT = ('count(doc("xrpc://books-c/books.xml")'
+             "/child::library/child::books/child::book)")
+    with FederationEngine(cluster, max_workers=2,
+                          batch_window_s=0) as engine:
+        first = engine.submit(COUNT, at="local",
+                              strategy=Strategy.DATA_SHIPPING).result()
+        assert first.items == [10]
+        shard = cluster.catalog.get("books-c").shards[0]
+        replacement = parse_document(
+            "<library><meta><curator>Ann</curator>"
+            "<founded>1602</founded></meta><books>"
+            '<book id="bX"><title>New</title><year>2030</year>'
+            "<pages>1</pages></book></books>"
+            "<staff><clerk>Bob</clerk></staff></library>", uri="frag")
+        for replica in shard.replicas:
+            cluster.peer(replica).store(shard.local_name, replacement)
+        second = engine.submit(COUNT, at="local",
+                               strategy=Strategy.DATA_SHIPPING).result()
+        # Shard 0 held 3 books, now holds 1: 10 - 3 + 1.
+        assert second.items == [8], second.items
+
+
+def test_concurrent_batched_scatter_keeps_shard_order():
+    """Regression: shard response fragments are renumbered in shard
+    order after the gather. Without that, concurrent queries (whose
+    batching windows scramble which scatter thread parses first) got
+    arbitrary inter-shard document order, so a local suffix path step
+    over the gathered items re-sorted across shards — a permuted
+    result sequence."""
+    from repro.workloads import (
+        SHARDED_BENCHMARK_QUERY, build_sharded_federation,
+    )
+    federation = build_sharded_federation(0.005)
+    expected = serialize_sequence(
+        federation.run(SHARDED_BENCHMARK_QUERY, at="local").items)
+    with FederationEngine(federation, max_workers=8,
+                          cache=False) as engine:
+        futures = [engine.submit(SHARDED_BENCHMARK_QUERY, "local")
+                   for _ in range(12)]
+        outputs = [serialize_sequence(f.result().items) for f in futures]
+    assert outputs == [expected] * len(outputs)
+
+
+def test_execute_at_literal_targets_collection(cluster):
+    """The paper's ``execute at`` syntax scatters too when it names a
+    virtual host."""
+    query = (
+        "declare function years() as node()* "
+        '{ doc("xrpc://books-c/books.xml")'
+        "/child::library/child::books/child::book/child::year }; "
+        'execute at {"books-c"} { years() }')
+    result = cluster.run(query, at="local", strategy=Strategy.BY_FRAGMENT)
+    assert [str(item.string_value()) for item in result.items] \
+        == [str(2000 + i) for i in range(10)]
+    assert result.stats.scatter_shards == 4

@@ -1,0 +1,45 @@
+"""Examples smoke test: every script in ``examples/`` must run clean.
+
+Each example is executed as a subprocess (the way a reader would run
+it) at a tiny scale factor injected via ``REPRO_EXAMPLE_SCALE``, so
+examples cannot silently rot as the library evolves.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Small enough for CI, large enough that every query has matches.
+SMOKE_SCALE = "0.002"
+
+
+def test_examples_are_discovered():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert "sharded_cluster.py" in names
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script: Path):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SCALE"] = SMOKE_SCALE
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    result = subprocess.run(
+        [sys.executable, str(script)], env=env, cwd=str(REPO_ROOT),
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"
