@@ -53,7 +53,8 @@ def _sweep_cell(shard_count: int) -> dict:
     federation = build_sharded_federation(
         SCALE, seed=SEED, shard_count=shard_count,
         replication_factor=min(2, shard_count), node_count=shard_count,
-        cost_model=CostModel(bandwidth_bytes_per_s=WAN_BANDWIDTH))
+        cost_model=CostModel().replace(
+            bandwidth_bytes_per_s=WAN_BANDWIDTH))
     transport = SimulatedTransport(federation.cost_model,
                                    time_scale=TIME_SCALE,
                                    per_peer_concurrency=2)

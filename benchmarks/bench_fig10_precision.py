@@ -7,7 +7,6 @@ age; runtime projection starts from the *filtered* person sequence
 ~5x smaller.
 """
 
-import time
 
 import pytest
 

@@ -20,9 +20,12 @@ Quickstart::
 
 from repro.cluster import (ClusterCatalog, CollectionSpec,
                            create_sharded_collection)
-from repro.decompose import Strategy, decompose
+from repro.decompose import AUTO, Strategy, decompose
 from repro.net.costmodel import CostModel
-from repro.net.stats import RunStats, TimeBreakdown
+from repro.net.estimate import CostVector
+from repro.net.stats import PlanReport, RunStats, TimeBreakdown
+from repro.planner import (CalibrationBook, PhysicalPlan, QueryPlanner,
+                           StatsCatalog)
 from repro.runtime import (FederationEngine, LoopbackTransport, ResultCache,
                            SimulatedTransport)
 from repro.system.federation import Federation, Peer, RunResult
@@ -35,8 +38,9 @@ __version__ = "1.0.0"
 __all__ = [
     "Federation", "Peer", "RunResult",
     "ClusterCatalog", "CollectionSpec", "create_sharded_collection",
-    "Strategy", "decompose",
-    "CostModel", "RunStats", "TimeBreakdown",
+    "AUTO", "Strategy", "decompose",
+    "CostModel", "CostVector", "PlanReport", "RunStats", "TimeBreakdown",
+    "CalibrationBook", "PhysicalPlan", "QueryPlanner", "StatsCatalog",
     "FederationEngine", "ResultCache",
     "LoopbackTransport", "SimulatedTransport",
     "Document", "Node", "parse_document", "parse_fragment",

@@ -109,14 +109,15 @@ def unwrap_collection_xrpc(expr: Expr, collection: str) -> Expr:
 
 
 def split_xrpc_uri(uri: str) -> tuple[str, str] | None:
-    """``(host, local_name)`` of an ``xrpc://host/local`` URI."""
+    """``(host, local_name)`` of an ``xrpc://host/local`` URI (None
+    for non-xrpc URIs and malformed ones with an empty host)."""
     if not uri.startswith(XRPC_SCHEME):
         return None
     rest = uri[len(XRPC_SCHEME):]
     if "/" not in rest:
         return None
     host, local_name = rest.split("/", 1)
-    return host, local_name
+    return (host, local_name) if host else None
 
 
 def _renumber_shard_fragments(outcomes: list["ScatterOutcome"]) -> None:
@@ -202,15 +203,20 @@ class ClusterRouter:
         site is nested inside another scatter).
         """
         epoch = self.catalog.epoch()
+        # The physical plan keys this call site's message semantics by
+        # the original body object; resolve it before the rewrite below
+        # replaces that object with shard-local variants.
+        semantics = self.run.semantics_for(id(body))
         body = unwrap_collection_xrpc(body, spec.name)
         combine = gather_plan(body, spec.name)
         if combine is None:
             return self._evaluate_locally(from_peer, calls, body,
                                           stats=stats, counter=counter)
 
-        # Shard bodies are built (and their projection specs registered)
-        # up front on the caller's thread: the spec dict and the AST are
-        # then only read by the scatter workers.
+        # Shard bodies are built (and their projection specs plus
+        # semantics aliases registered) up front on the caller's
+        # thread: the dicts and the AST are then only read by the
+        # scatter workers.
         proj_spec = self.run.projection_specs.get(id(body))
         shard_bodies: list[Expr] = []
         for shard in spec.shards:
@@ -218,6 +224,7 @@ class ClusterRouter:
                 body, lambda uri, s=shard: self._map_uri(uri, spec, s))
             if proj_spec is not None:
                 self.run.projection_specs[id(shard_body)] = proj_spec
+            self.run.site_semantics[id(shard_body)] = semantics
             shard_bodies.append(shard_body)
 
         def call_shard(index: int) -> ScatterOutcome:
@@ -238,9 +245,10 @@ class ClusterRouter:
             # The shard ASTs are per-scatter temporaries; their id()
             # keys must not outlive them (a later allocation could
             # reuse the address and falsely inherit the spec).
-            if proj_spec is not None:
-                for shard_body in shard_bodies:
+            for shard_body in shard_bodies:
+                if proj_spec is not None:
                     self.run.projection_specs.pop(id(shard_body), None)
+                self.run.site_semantics.pop(id(shard_body), None)
         self._merge_outcomes(outcomes, shards=len(spec.shards),
                              stats=stats, counter=counter)
         _renumber_shard_fragments(outcomes)

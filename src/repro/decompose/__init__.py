@@ -19,7 +19,10 @@ Strategies:
   by runtime XML projection (Section VI).
 """
 
-from repro.decompose.strategy import Strategy, DecompositionResult, decompose
+from repro.decompose.strategy import (
+    AUTO, DecompositionCandidates, DecompositionResult, Strategy, decompose,
+    prepare, realize, strategy_label,
+)
 from repro.decompose.conditions import (
     valid_decomposition_points, is_valid_dpoint, MIXER_RULES_BY_VALUE,
     MIXER_RULES_BY_FRAGMENT,
@@ -30,7 +33,8 @@ from repro.decompose.rewrite import insert_xrpc
 from repro.decompose.code_motion import apply_code_motion
 
 __all__ = [
-    "Strategy", "DecompositionResult", "decompose",
+    "AUTO", "Strategy", "DecompositionResult", "DecompositionCandidates",
+    "decompose", "prepare", "realize", "strategy_label",
     "valid_decomposition_points", "is_valid_dpoint",
     "MIXER_RULES_BY_VALUE", "MIXER_RULES_BY_FRAGMENT",
     "interesting_points", "select_insertions", "InsertionPlan",

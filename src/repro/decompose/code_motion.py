@@ -21,9 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.xquery.ast import (
-    ArithmeticExpr, ComparisonExpr, Expr, FunCall, FunctionDecl, IfExpr,
-    LogicalExpr, Module, PathExpr, QuantifiedExpr, Step, VarRef, XRPCExpr,
-    XRPCParam,
+    ArithmeticExpr, ComparisonExpr, Expr, FunCall, FunctionDecl, Module,
+    PathExpr, Step, VarRef, XRPCExpr, XRPCParam,
 )
 
 #: Axes that may appear in a moved path (downward, no identity hazards).

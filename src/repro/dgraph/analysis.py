@@ -17,7 +17,6 @@ pass-by-fragment cannot repair.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.dgraph.graph import DGraph, Vertex
 

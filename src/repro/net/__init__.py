@@ -8,6 +8,8 @@ execution, and network transfer.
 """
 
 from repro.net.costmodel import CostModel
-from repro.net.stats import RunStats, TimeBreakdown
+from repro.net.estimate import CostVector
+from repro.net.stats import PlanReport, RunStats, TimeBreakdown
 
-__all__ = ["CostModel", "RunStats", "TimeBreakdown"]
+__all__ = ["CostModel", "CostVector", "PlanReport", "RunStats",
+           "TimeBreakdown"]

@@ -11,10 +11,15 @@ keep the paper's orderings:
   construction vs. a formatting pass);
 * the network moves bytes at 1 Gb/s with a fixed per-message latency;
 * execution time scales with evaluator ticks and nodes visited.
+
+Every constant is a rate with explicit units (seconds, or seconds per
+byte/tick/node-visit); derive a variant with :meth:`CostModel.replace`
+instead of constructing ad-hoc instances.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 
@@ -22,20 +27,37 @@ from dataclasses import dataclass
 class CostModel:
     """Simulated costs; all times in seconds."""
 
-    #: Per-message fixed cost (connection + SOAP envelope handling).
+    #: Per-message fixed cost in **seconds** (TCP connection reuse plus
+    #: SOAP envelope handling; the paper's LAN sees ~0.3 ms).
     latency_s: float = 0.3e-3
-    #: Wire speed: 1 Gb/s = 125 MB/s.
+    #: Wire speed in **bytes per second**: 1 Gb/s = 125 MB/s.
     bandwidth_bytes_per_s: float = 125e6
-    #: Shredding received documents into the XML store.
+    #: **Seconds per byte** to shred a received document into the XML
+    #: store (parsing plus pre/size/level index construction).
     shred_s_per_byte: float = 60e-9
-    #: Serialising XML (documents or messages) to text.
+    #: **Seconds per byte** to serialise XML (documents or messages) to
+    #: text (a formatting pass, cheaper than shredding).
     serialize_s_per_byte: float = 15e-9
-    #: Parsing + shredding message payloads on receipt.
+    #: **Seconds per byte** to parse + shred message payloads on
+    #: receipt (between serialisation and full document shredding:
+    #: fragments skip part of the index work).
     deserialize_s_per_byte: float = 40e-9
-    #: One evaluator expression-evaluation step.
+    #: **Seconds per evaluator tick** (one expression-evaluation step).
     tick_s: float = 0.4e-6
-    #: One axis candidate visited.
+    #: **Seconds per node visit** (one axis candidate inspected).
     node_visit_s: float = 0.1e-6
+
+    def replace(self, **overrides: float) -> "CostModel":
+        """A copy with ``overrides`` applied — the supported way for
+        benchmarks and experiments to derive variants (a typo'd field
+        name raises, listing the valid ones)."""
+        valid = {field.name for field in dataclasses.fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise TypeError(
+                f"unknown CostModel field(s) {sorted(unknown)}; "
+                f"valid fields: {sorted(valid)}")
+        return dataclasses.replace(self, **overrides)
 
     def network_time(self, message_bytes: int) -> float:
         return self.latency_s + message_bytes / self.bandwidth_bytes_per_s

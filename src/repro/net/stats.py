@@ -37,6 +37,35 @@ class TimeBreakdown:
         }
 
 
+@dataclass(frozen=True)
+class PlanReport:
+    """The planner's verdict for one run: which physical plan executed
+    and what it was predicted to cost.
+
+    Attached to :class:`RunStats` for *every* run — fixed strategies
+    get the trivial single-candidate report — so estimated-vs-actual
+    tables (``BENCH_planner.json``) need nothing but the stats object.
+    """
+
+    strategy: str                 # chosen plan label, e.g. "by-projection"
+    estimated_s: float = 0.0      # predicted simulated seconds
+    estimated_bytes: int = 0      # predicted wire bytes (Figure 7 metric)
+    from_cache: bool = False      # served by the plan cache
+    #: Every candidate the planner priced: ``(label, estimated_s)``,
+    #: cheapest first. Fixed-strategy runs carry just their own entry.
+    candidates: tuple[tuple[str, float], ...] = ()
+    explain: str = ""             # operator-level plan rendering
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "estimated_s": self.estimated_s,
+            "estimated_bytes": self.estimated_bytes,
+            "from_cache": self.from_cache,
+            "candidates": [list(entry) for entry in self.candidates],
+        }
+
+
 @dataclass
 class RunStats:
     """Byte and message accounting for one query execution."""
@@ -51,6 +80,10 @@ class RunStats:
     scatter_shards: int = 0      # per-shard calls issued by the cluster
     failovers: int = 0           # replica switches after wire faults
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: The physical plan that produced this run (set by the federation
+    #: for every execution; ``merge`` keeps the receiver's — shard
+    #: calls report under the run that scattered them).
+    plan: PlanReport | None = None
 
     @property
     def total_transferred_bytes(self) -> int:
@@ -99,4 +132,5 @@ class RunStats:
             "failovers": self.failovers,
             "total_time_s": self.times.total,
             "times": self.times.as_dict(),
+            "plan": self.plan.as_dict() if self.plan is not None else None,
         }

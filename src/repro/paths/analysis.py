@@ -64,14 +64,16 @@ class ProjectionSpec:
     result_paths: PathSets = field(default_factory=PathSets)
 
 
-#: Builtins that pass their argument nodes through unchanged.
-_TRANSPARENT_BUILTINS = frozenset({
+#: Builtins that pass their argument nodes through unchanged (public:
+#: the planner's estimator shares this classification).
+TRANSPARENT_BUILTINS = frozenset({
     "reverse", "subsequence", "insert-before", "remove", "exactly-one",
     "zero-or-one", "one-or-more", "unordered",
 })
 
-#: Builtins that only atomize / inspect their arguments.
-_VALUE_BUILTINS = frozenset({
+#: Builtins that only atomize / inspect their arguments (public: the
+#: planner's estimator shares this classification).
+VALUE_BUILTINS = frozenset({
     "data", "string", "number", "not", "boolean", "empty", "exists",
     "count", "sum", "avg", "max", "min", "concat", "string-join",
     "contains", "starts-with", "ends-with", "substring",
@@ -246,12 +248,12 @@ class _Analyzer:
             return frozenset(
                 (source, path.extend(RelStep(f"{name}()")))
                 for source, path in inner)
-        if name in _TRANSPARENT_BUILTINS:
+        if name in TRANSPARENT_BUILTINS:
             out: set = set()
             for arg in expr.args:
                 out |= self.analyze(arg, env)
             return frozenset(out)
-        if name in _VALUE_BUILTINS:
+        if name in VALUE_BUILTINS:
             for arg in expr.args:
                 self.mark_used(self.analyze(arg, env))
             return _EMPTY

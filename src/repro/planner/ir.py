@@ -1,0 +1,193 @@
+"""The physical-plan IR: typed operators the planner prices and the
+execution layer consults.
+
+A :class:`PhysicalPlan` is the lowered form of one
+:class:`~repro.decompose.DecompositionResult`: every remote
+interaction the rewritten module will perform becomes a typed operator
+— :class:`XrpcCall` for a decomposed call site (wrapped in
+:class:`BulkBatch` when Bulk RPC coalesces its per-binding calls, or
+:class:`ScatterGather` when the destination is a sharded collection),
+:class:`ShipDocument` for a ``doc()`` reference that data-ships, and
+:class:`LocalEval` for the work left at the originator. Each operator
+carries the :class:`~repro.net.estimate.CostVector` the estimator
+predicted for it; the plan's total prices the candidate.
+
+The run layer reads two things from a plan: the per-site message
+semantics (``semantics_for``) — which is what lets one mixed plan ship
+a tiny document while projecting a big one — and the
+:class:`~repro.net.stats.PlanReport` recorded into ``RunStats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decompose import DecompositionResult, Strategy
+from repro.net.costmodel import CostModel
+from repro.net.estimate import CostVector
+from repro.net.stats import PlanReport
+
+
+def _fmt_bytes(value: float) -> str:
+    return f"{value / 1024:.1f}KB" if value >= 1024 else f"{value:.0f}B"
+
+
+@dataclass
+class LocalEval:
+    """Evaluation at the originating peer (always present)."""
+
+    at: str
+    vector: CostVector = field(default_factory=CostVector)
+
+    def describe(self) -> str:
+        return (f"local-eval at {self.at} "
+                f"(~{self.vector.local_exec_s * 1e3:.2f}ms exec)")
+
+
+@dataclass
+class ShipDocument:
+    """Data shipping: serialise ``owner/local_name`` and shred it at
+    ``to`` (the originator, or a remote peer whose shipped body opens
+    the document)."""
+
+    owner: str
+    local_name: str
+    to: str
+    document_bytes: int
+    shards: int = 0                 # >0 when owner is a sharded collection
+    vector: CostVector = field(default_factory=CostVector)
+
+    def describe(self) -> str:
+        shards = f" x{self.shards} shards" if self.shards else ""
+        return (f"ship-document {self.owner}/{self.local_name} -> "
+                f"{self.to}{shards} (~{_fmt_bytes(self.document_bytes)})")
+
+
+@dataclass
+class XrpcCall:
+    """One decomposed call site: an XRPC round trip to ``dest`` under
+    ``semantics``, with ``calls`` function applications expected."""
+
+    dest: str
+    semantics: str
+    site_id: int                    # id(xrpc.body): the run-layer key
+    calls: float = 1.0
+    request_bytes: float = 0.0
+    response_bytes: float = 0.0
+    vector: CostVector = field(default_factory=CostVector)
+
+    def describe(self) -> str:
+        return (f"xrpc-call {self.semantics} -> {self.dest} "
+                f"(~{self.calls:.0f} calls, req ~"
+                f"{_fmt_bytes(self.request_bytes)}, resp ~"
+                f"{_fmt_bytes(self.response_bytes)})")
+
+
+@dataclass
+class BulkBatch:
+    """Bulk RPC: the wrapped site's per-binding calls coalesce into a
+    single message pair (Section V)."""
+
+    call: XrpcCall
+
+    @property
+    def vector(self) -> CostVector:
+        return self.call.vector
+
+    def describe(self) -> str:
+        return f"bulk-batch [{self.call.describe()}]"
+
+
+@dataclass
+class ScatterGather:
+    """The wrapped call site's destination is a sharded collection:
+    one round trip per shard, least-loaded replica each."""
+
+    collection: str
+    shards: int
+    call: XrpcCall
+
+    @property
+    def vector(self) -> CostVector:
+        return self.call.vector
+
+    def describe(self) -> str:
+        return (f"scatter-gather {self.collection} x{self.shards} "
+                f"[{self.call.describe()}]")
+
+
+PlanOp = "LocalEval | ShipDocument | XrpcCall | BulkBatch | ScatterGather"
+
+
+@dataclass
+class PhysicalPlan:
+    """One executable candidate: a decomposition plus its priced ops."""
+
+    label: str
+    strategy: Strategy
+    decomposition: DecompositionResult
+    origin: str
+    ops: list = field(default_factory=list)
+    #: Per-site message semantics, keyed by ``id(xrpc.body)`` — the
+    #: handle :class:`~repro.system.federation._Run` has on the wire.
+    site_semantics: dict[int, str] = field(default_factory=dict)
+    #: Projection specs keyed by ``id(xrpc.body)``, computed once
+    #: during lowering (when some site uses by-projection) and reused
+    #: by the run layer instead of re-analysing the module per run.
+    projection_specs: dict[int, object] = field(default_factory=dict)
+    vector: CostVector = field(default_factory=CostVector)
+    model: CostModel = field(default_factory=CostModel)
+    report: PlanReport | None = None
+
+    @property
+    def default_semantics(self) -> str:
+        return self.strategy.semantics
+
+    def semantics_for(self, site_id: int) -> str:
+        return self.site_semantics.get(site_id, self.default_semantics)
+
+    @property
+    def estimated_s(self) -> float:
+        return self.vector.total_s(self.model)
+
+    @property
+    def estimated_bytes(self) -> int:
+        return int(self.vector.wire_bytes)
+
+    def finish(self) -> "PhysicalPlan":
+        """Sum the operator vectors into the plan total (call after
+        lowering; idempotent via recompute)."""
+        total = CostVector()
+        for op in self.ops:
+            total.add(op.vector)
+        self.vector = total
+        return self
+
+    def explain(self) -> str:
+        """Operator-level rendering for docs, examples and reports."""
+        times = self.vector.time(self.model)
+        lines = [
+            f"plan {self.label}: est {times.total * 1e3:.2f}ms, "
+            f"~{_fmt_bytes(self.vector.wire_bytes)} on the wire"
+        ]
+        for index, op in enumerate(self.ops, start=1):
+            op_s = op.vector.total_s(self.model)
+            lines.append(f"  {index}. {op.describe()} "
+                         f"[est {op_s * 1e3:.2f}ms]")
+        return "\n".join(lines)
+
+    def build_report(self, candidates: tuple[tuple[str, float], ...] = (),
+                     from_cache: bool = False) -> PlanReport:
+        """Attach (and return) the :class:`PlanReport` recorded into
+        every run's ``RunStats``."""
+        if not candidates:
+            candidates = ((self.label, self.estimated_s),)
+        self.report = PlanReport(
+            strategy=self.label,
+            estimated_s=self.estimated_s,
+            estimated_bytes=self.estimated_bytes,
+            from_cache=from_cache,
+            candidates=candidates,
+            explain=self.explain(),
+        )
+        return self.report

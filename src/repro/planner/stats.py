@@ -1,0 +1,273 @@
+"""Per-peer document statistics feeding the cost-based planner.
+
+A :class:`DocumentStats` summarises one stored document: its exact
+serialised size, node counts, and a per-tag histogram carrying, for
+every element name, how many instances exist and how many serialised
+bytes their subtrees cover. Attribute values are tracked under
+``@name`` keys and text nodes under ``#text``, so the estimator can
+price projections ("only ``person/@id`` comes back") and atomisations
+("``data($x)`` keeps the text") without touching the documents again.
+
+The :class:`StatsCatalog` computes stats lazily per ``(host, name)``
+and invalidates them through the same ``Peer.on_store`` hook the
+runtime's result cache uses; a *collection* host (cluster catalog
+virtual name) aggregates its shard fragments' stats. ``version()``
+bumps on every invalidation — it is part of the planner's plan-cache
+key, so a re-stored document can never be planned against stale
+statistics.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.xmldb.node import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.system.federation import Federation
+    from repro.xmldb.document import Document
+
+
+@dataclass(frozen=True)
+class TagStat:
+    """One histogram bucket: instances of a tag and the serialised
+    bytes their subtrees cover (for ``@attr`` buckets, the value
+    bytes; for ``#text``, the character data bytes)."""
+
+    count: int = 0
+    subtree_bytes: int = 0
+
+    @property
+    def avg_bytes(self) -> float:
+        return self.subtree_bytes / self.count if self.count else 0.0
+
+    def merged(self, other: "TagStat") -> "TagStat":
+        return TagStat(self.count + other.count,
+                       self.subtree_bytes + other.subtree_bytes)
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Summary of one document (or an aggregated sharded collection)."""
+
+    uri: str
+    serialized_bytes: int        # exact length of the serialised text
+    nodes: int                   # all stored nodes (incl. attributes)
+    elements: int                # element nodes only
+    tags: Mapping[str, TagStat]  # name / "@name" / "#text" buckets
+
+    def tag(self, name: str) -> TagStat | None:
+        return self.tags.get(name)
+
+    @property
+    def avg_element_bytes(self) -> float:
+        return (self.serialized_bytes / self.elements
+                if self.elements else 0.0)
+
+
+def compute_document_stats(document: "Document", uri: str,
+                           serialized_bytes: int | None = None
+                           ) -> DocumentStats:
+    """One O(nodes) pass over the pre/size arrays.
+
+    Per-node markup bytes are approximated (tags, attribute syntax,
+    text lengths) and then scaled so their total matches the exact
+    serialised length when the caller provides it — subtree byte
+    figures stay mutually consistent and sum to the true wire size.
+    """
+    kinds = document.kinds
+    names = document.names
+    values = document.values
+    sizes = document.sizes
+    count = len(kinds)
+
+    own = [0] * count
+    elements = 0
+    for pre in range(count):
+        kind = kinds[pre]
+        if kind == NodeKind.ELEMENT:
+            # <name>...</name> or <name/>
+            own[pre] = 2 * len(names[pre]) + 5
+            elements += 1
+        elif kind == NodeKind.ATTRIBUTE:
+            own[pre] = len(names[pre]) + len(values[pre]) + 4  # name="v"
+        elif kind == NodeKind.TEXT:
+            own[pre] = len(values[pre])
+        elif kind == NodeKind.COMMENT:
+            own[pre] = len(values[pre]) + 7                    # <!-- -->
+        elif kind == NodeKind.PROCESSING_INSTRUCTION:
+            own[pre] = len(names[pre]) + len(values[pre]) + 5  # <? ?>
+    approx_total = sum(own)
+    scale = 1.0
+    if serialized_bytes is not None and approx_total > 0:
+        scale = serialized_bytes / approx_total
+
+    prefix = [0] * (count + 1)
+    for pre in range(count):
+        prefix[pre + 1] = prefix[pre] + own[pre]
+
+    counts: dict[str, int] = {}
+    byte_totals: dict[str, int] = {}
+    for pre in range(count):
+        kind = kinds[pre]
+        if kind == NodeKind.ELEMENT:
+            key = names[pre]
+            subtree = prefix[pre + sizes[pre] + 1] - prefix[pre]
+        elif kind == NodeKind.ATTRIBUTE:
+            key = "@" + names[pre]
+            subtree = len(values[pre])
+        elif kind == NodeKind.TEXT:
+            key = "#text"
+            subtree = len(values[pre])
+        else:
+            continue
+        counts[key] = counts.get(key, 0) + 1
+        byte_totals[key] = byte_totals.get(key, 0) + subtree
+
+    tags = {
+        key: TagStat(counts[key], int(byte_totals[key] * scale))
+        for key in counts
+    }
+    total = (serialized_bytes if serialized_bytes is not None
+             else approx_total)
+    return DocumentStats(uri=uri, serialized_bytes=total, nodes=count,
+                         elements=elements, tags=tags)
+
+
+def merge_document_stats(parts: list[DocumentStats],
+                         uri: str) -> DocumentStats:
+    """Aggregate shard-fragment stats into one logical collection view."""
+    tags: dict[str, TagStat] = {}
+    for part in parts:
+        for name, stat in part.tags.items():
+            existing = tags.get(name)
+            tags[name] = stat if existing is None else existing.merged(stat)
+    return DocumentStats(
+        uri=uri,
+        serialized_bytes=sum(p.serialized_bytes for p in parts),
+        nodes=sum(p.nodes for p in parts),
+        elements=sum(p.elements for p in parts),
+        tags=tags,
+    )
+
+
+class StatsCatalog:
+    """Lazily computed, store-invalidated document statistics.
+
+    Thread-safe; shared by one federation's planner across all
+    concurrent queries. ``version()`` is woven into the plan-cache key.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stats: dict[tuple[str, str], DocumentStats] = {}
+        self._collection_keys: set[tuple[str, str]] = set()
+        self._version = 0
+        self._federation: "Federation | None" = None
+        self._attached: set[str] = set()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def attach(self, federation: "Federation") -> None:
+        """Register invalidation listeners on every peer (idempotent;
+        call again after adding peers, as the planner does)."""
+        self._federation = federation
+        for name, peer in list(federation.peers.items()):
+            with self._lock:
+                if name in self._attached:
+                    continue
+                self._attached.add(name)
+            peer.on_store(self._invalidate)
+
+    def version(self) -> int:
+        """Bumped by every invalidation (a stored document, anywhere)."""
+        with self._lock:
+            return self._version
+
+    def _invalidate(self, peer_name: str, local_name: str) -> None:
+        with self._lock:
+            stale = [key for key in self._stats
+                     if key[0] == peer_name or key in self._collection_keys]
+            for key in stale:
+                self._stats.pop(key, None)
+                self._collection_keys.discard(key)
+            self._version += 1
+
+    # -- lookups ------------------------------------------------------------
+
+    def document_stats(self, host: str,
+                       local_name: str) -> DocumentStats | None:
+        """Stats for ``host/local_name``; None when the document (or
+        the host) does not exist. ``host`` may be a cluster collection
+        virtual name, in which case shard-fragment stats are merged."""
+        key = (host, local_name)
+        with self._lock:
+            cached = self._stats.get(key)
+        if cached is not None:
+            return cached
+        federation = self._federation
+        if federation is None:
+            return None
+        spec = federation.collection(host)
+        if spec is not None:
+            stats = self._collection_stats(federation, spec, local_name)
+            is_collection = True
+        else:
+            stats = self._peer_stats(federation, host, local_name)
+            is_collection = False
+        if stats is None:
+            return None
+        with self._lock:
+            self._stats.setdefault(key, stats)
+            if is_collection:
+                self._collection_keys.add(key)
+            return self._stats[key]
+
+    def _peer_stats(self, federation: "Federation", host: str,
+                    local_name: str) -> DocumentStats | None:
+        peer = federation.peers.get(host)
+        if peer is None:
+            return None
+        document = peer.documents.get(local_name)
+        if document is None:
+            return None
+        text = peer.serialized(local_name)
+        return compute_document_stats(
+            document, uri=f"xrpc://{host}/{local_name}",
+            serialized_bytes=len(text.encode()))
+
+    def _collection_stats(self, federation: "Federation", spec,
+                          local_name: str) -> DocumentStats | None:
+        if local_name != spec.document:
+            return None
+        parts: list[DocumentStats] = []
+        for shard in spec.shards:
+            part = None
+            for replica in shard.replicas:
+                part = self._peer_stats(federation, replica,
+                                        shard.local_name)
+                if part is not None:
+                    break
+            if part is None:
+                return None
+            parts.append(part)
+        return merge_document_stats(
+            parts, uri=f"xrpc://{spec.name}/{local_name}")
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "version": self._version,
+                "documents": {
+                    f"{host}/{name}": {
+                        "serialized_bytes": stats.serialized_bytes,
+                        "elements": stats.elements,
+                        "nodes": stats.nodes,
+                    }
+                    for (host, name), stats in sorted(self._stats.items())
+                },
+            }

@@ -26,7 +26,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from threading import BoundedSemaphore
 from typing import TYPE_CHECKING, Iterable
 
-from repro.decompose import Strategy
+from repro.decompose import Strategy, strategy_label
 from repro.runtime.batching import BulkBatcher
 from repro.runtime.cache import ResultCache
 from repro.runtime.metrics import MetricsAggregator, QueryRecord
@@ -140,13 +140,19 @@ class FederationEngine:
     # -- submission ---------------------------------------------------------
 
     def submit(self, query: str, at: str,
-               strategy: Strategy = Strategy.BY_PROJECTION,
+               strategy: Strategy | str = Strategy.BY_PROJECTION,
                **run_kwargs) -> "Future[RunResult]":
         """Schedule one query; blocks while ``max_in_flight`` queries
         are already admitted (admission control), then returns a future
-        for the :class:`RunResult`."""
+        for the :class:`RunResult`.
+
+        ``strategy`` accepts the enum, a case-insensitive string alias,
+        or ``"auto"`` (cost-based planning per query) — same contract
+        as :meth:`Federation.run`; invalid names raise here, before a
+        worker is occupied."""
         if self._closed:
             raise EngineClosedError("engine is shut down")
+        strategy = Strategy.coerce(strategy)
         if self.cache is not None:
             # Pick up peers added since construction.
             self.cache.attach(self.federation)
@@ -212,9 +218,10 @@ class FederationEngine:
 
     # -- worker body --------------------------------------------------------
 
-    def _run_one(self, query: str, at: str, strategy: Strategy,
+    def _run_one(self, query: str, at: str, strategy: "Strategy | str",
                  run_kwargs: dict) -> "RunResult":
         started = time.perf_counter()
+        label = strategy_label(strategy)
         with self._in_flight_lock:
             self._executing += 1
         try:
@@ -227,14 +234,16 @@ class FederationEngine:
         except BaseException as exc:
             self.metrics.record(QueryRecord(
                 started_at=started, finished_at=time.perf_counter(),
-                stats=None, strategy=strategy.value, at=at,
+                stats=None, strategy=label, at=at,
                 error=f"{type(exc).__name__}: {exc}"))
             raise
         finally:
             self._finish_one()
         self.metrics.record(QueryRecord(
             started_at=started, finished_at=time.perf_counter(),
-            stats=result.stats, strategy=strategy.value, at=at))
+            stats=result.stats, strategy=label, at=at,
+            plan=(result.stats.plan.strategy
+                  if result.stats.plan is not None else None)))
         return result
 
     # -- introspection ------------------------------------------------------

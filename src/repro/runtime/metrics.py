@@ -41,9 +41,10 @@ class QueryRecord:
     started_at: float            # perf_counter timestamps
     finished_at: float
     stats: RunStats | None       # None when the query failed
-    strategy: str = ""
+    strategy: str = ""           # requested ("auto" stays "auto")
     at: str = ""
     error: str | None = None
+    plan: str | None = None      # physical plan label the run executed
 
     @property
     def wall_s(self) -> float:
@@ -87,6 +88,10 @@ class MetricsAggregator:
         cache_saved = sum(r.stats.cache_saved_bytes for r in completed)
         scatter_shards = sum(r.stats.scatter_shards for r in completed)
         failovers = sum(r.stats.failovers for r in completed)
+        plans: dict[str, int] = {}
+        for record in completed:
+            if record.plan is not None:
+                plans[record.plan] = plans.get(record.plan, 0) + 1
         return {
             "queries": len(completed),
             "failed": failed,
@@ -104,6 +109,7 @@ class MetricsAggregator:
             "cache_saved_bytes": cache_saved,
             "scatter_shards": scatter_shards,
             "failovers": failovers,
+            "plans": plans,
         }
 
     def format_summary(self) -> str:

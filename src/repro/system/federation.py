@@ -30,10 +30,12 @@ from typing import Callable
 
 from repro.cluster.catalog import ClusterCatalog, CollectionSpec
 from repro.cluster.router import ClusterRouter
-from repro.decompose import DecompositionResult, Strategy, decompose
+from repro.decompose import DecompositionResult, Strategy
 from repro.errors import NetworkError, XQueryDynamicError
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
+from repro.planner.ir import PhysicalPlan
+from repro.planner.planner import QueryPlanner
 from repro.paths.analysis import PathSets, ProjectionSpec, analyze_module
 from repro.runtime.batching import BulkBatcher, batch_key
 from repro.runtime.cache import ResultCache, response_key
@@ -44,7 +46,6 @@ from repro.xmldb.serializer import serialize
 from repro.xquery.ast import Expr, Module, XRPCExpr, walk
 from repro.xquery.context import CostCounter, DynamicContext, StaticContext
 from repro.xquery.evaluator import Evaluator
-from repro.xquery.parser import parse_query
 from repro.xquery.pretty import pretty
 from repro.xrpc.marshal import marshal_calls, unmarshal_result
 from repro.xrpc.messages import RequestMessage, ResponseMessage
@@ -150,6 +151,11 @@ class RunResult:
     def module(self) -> Module:
         return self.decomposition.module
 
+    @property
+    def plan(self):
+        """The :class:`~repro.net.stats.PlanReport` of this run."""
+        return self.stats.plan
+
 
 class Federation:
     """A set of peers plus the simulated network between them."""
@@ -157,13 +163,28 @@ class Federation:
     def __init__(self, cost_model: CostModel | None = None,
                  static: StaticContext | None = None,
                  transport: Transport | None = None,
-                 catalog: ClusterCatalog | None = None):
+                 catalog: ClusterCatalog | None = None,
+                 planner: QueryPlanner | None = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.static = static if static is not None else StaticContext()
         self.transport = (transport if transport is not None
                           else LoopbackTransport(self.cost_model))
         self.peers: dict[str, Peer] = {}
         self.catalog = catalog
+        self._planner = planner
+        self._planner_lock = threading.Lock()
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The federation's cost-based planner (created lazily; every
+        execution routes through it for plan lowering and feedback).
+        Creation is locked: a racing double-construction would leak
+        the loser's StatsCatalog listeners onto every peer."""
+        if self._planner is None:
+            with self._planner_lock:
+                if self._planner is None:
+                    self._planner = QueryPlanner(self)
+        return self._planner
 
     def add_peer(self, name: str) -> Peer:
         if name in self.peers:
@@ -199,40 +220,73 @@ class Federation:
     # -- execution ---------------------------------------------------------
 
     def run(self, query: str, at: str,
-            strategy: Strategy = Strategy.BY_PROJECTION,
+            strategy: Strategy | str = Strategy.BY_PROJECTION,
             bulk_rpc: bool = True, code_motion: bool = True,
             let_sinking: bool = True,
             keep_message_xml: bool = False,
             transport: Transport | None = None,
             result_cache: ResultCache | None = None,
             batcher: BulkBatcher | None = None) -> RunResult:
-        """Parse, decompose and execute ``query`` at peer ``at``."""
-        module = parse_query(query)
-        decomposition = decompose(module, strategy, local_host=at,
-                                  code_motion=code_motion,
-                                  let_sinking=let_sinking)
-        return self.execute(decomposition, at, bulk_rpc=bulk_rpc,
+        """Parse, decompose and execute ``query`` at peer ``at``.
+
+        ``strategy`` accepts the enum, a case-insensitive string alias
+        (``"by-projection"``, ``"BY_FRAGMENT"``), or ``"auto"`` — which
+        hands the choice to the cost-based :attr:`planner` (it may pick
+        a *mixed* plan shipping some documents while decomposing
+        others, and records its estimate in ``RunStats.plan``).
+        """
+        choice = Strategy.coerce(strategy)
+        # Fixed strategies go through the same planner entry point as
+        # auto: the plan cache then amortises decomposition + lowering
+        # across a multi-tenant sweep of identical queries.
+        planned = self.planner.plan(query, at=at, strategy=choice,
+                                    bulk_rpc=bulk_rpc,
+                                    code_motion=code_motion,
+                                    let_sinking=let_sinking,
+                                    transport=transport)
+        return self.execute(planned.decomposition, at,
+                            bulk_rpc=bulk_rpc,
                             keep_message_xml=keep_message_xml,
-                            transport=transport, result_cache=result_cache,
-                            batcher=batcher)
+                            transport=transport,
+                            result_cache=result_cache,
+                            batcher=batcher, plan=planned.plan,
+                            report=planned.report)
 
     def execute(self, decomposition: DecompositionResult, at: str,
                 bulk_rpc: bool = True,
                 keep_message_xml: bool = False,
                 transport: Transport | None = None,
                 result_cache: ResultCache | None = None,
-                batcher: BulkBatcher | None = None) -> RunResult:
+                batcher: BulkBatcher | None = None,
+                plan: PhysicalPlan | None = None,
+                report=None) -> RunResult:
         """Execute an already-decomposed query at peer ``at``.
 
         ``transport`` defaults to the federation's (loopback);
         ``result_cache`` and ``batcher`` are injected by
         :class:`~repro.runtime.engine.FederationEngine` for cross-query
         reuse and coalescing, and stay off for standalone runs.
+
+        ``plan`` is the planner's chosen physical plan (the auto
+        path); when absent, the decomposition is lowered into its
+        trivial fixed plan so every run carries an estimate, and the
+        observed stats feed the planner's calibration either way.
+        ``report`` is the :class:`~repro.net.stats.PlanReport` to
+        record into the run's stats (defaults to the plan's own — the
+        auto path passes a per-call copy so a plan-cache hit never
+        mutates the report of a concurrently executing run).
         """
+        if plan is None:
+            plan = self.planner.lower_fixed(decomposition, at,
+                                            bulk_rpc=bulk_rpc,
+                                            transport=transport)
         run = _Run(self, decomposition, at, bulk_rpc, keep_message_xml,
                    transport=transport, result_cache=result_cache,
-                   batcher=batcher)
-        return run.execute()
+                   batcher=batcher, plan=plan)
+        result = run.execute()
+        result.stats.plan = report if report is not None else plan.report
+        self.planner.observe(plan, result)
+        return result
 
 
 class _Run:
@@ -243,7 +297,8 @@ class _Run:
                  bulk_rpc: bool, keep_message_xml: bool,
                  transport: Transport | None = None,
                  result_cache: ResultCache | None = None,
-                 batcher: BulkBatcher | None = None):
+                 batcher: BulkBatcher | None = None,
+                 plan: PhysicalPlan | None = None):
         self.federation = federation
         self.decomposition = decomposition
         self.origin = origin
@@ -253,25 +308,40 @@ class _Run:
                           else federation.transport)
         self.result_cache = result_cache
         self.batcher = batcher
+        self.plan = plan
         self.stats = RunStats()
         self.messages: list[MessageLog] = []
         self.local_counter = CostCounter()
         self.remote_counter = CostCounter()
         self._shipped_docs: dict[tuple[str, str], Document] = {}
-        self.semantics = self._semantics(decomposition.strategy)
+        # Message semantics come from the plan: uniform for a fixed
+        # strategy, per call site for a planner-built mixed plan. The
+        # ``site_semantics`` dict additionally carries the cluster
+        # router's shard-body aliases for the duration of a scatter.
+        self.semantics = (plan.default_semantics if plan is not None
+                          else decomposition.strategy.semantics)
+        self.site_semantics: dict[int, str] = (
+            dict(plan.site_semantics) if plan is not None else {})
         self.projection_specs = self._projection_specs()
 
-    @staticmethod
-    def _semantics(strategy: Strategy) -> str:
-        if strategy is Strategy.BY_PROJECTION:
-            return "by-projection"
-        if strategy is Strategy.BY_FRAGMENT:
-            return "by-fragment"
-        return "by-value"
+    def semantics_for(self, body_id: int) -> str:
+        """The message semantics of one call site (``id(xrpc.body)``)."""
+        return self.site_semantics.get(body_id, self.semantics)
 
     def _projection_specs(self) -> dict[int, ProjectionSpec]:
-        """Specs keyed by id(xrpc.body), the handle the transport has."""
-        if self.decomposition.strategy is not Strategy.BY_PROJECTION:
+        """Specs keyed by id(xrpc.body), the handle the transport has.
+
+        The plan already carries the analysis (computed once during
+        lowering, over this very module object, so the id() keys
+        match); re-analysis happens only for the plan-less fallback.
+        """
+        if self.plan is not None:
+            return dict(self.plan.projection_specs)
+        uses_projection = (
+            self.semantics == "by-projection"
+            or any(semantics == "by-projection"
+                   for semantics in self.site_semantics.values()))
+        if not uses_projection:
             return {}
         module = self.decomposition.module
         by_xrpc = analyze_module(module)
@@ -448,10 +518,11 @@ class _Run:
         peer = self.federation.peer(dest_name)  # raises on unknown peer
         model = self.federation.cost_model
 
+        semantics = self.semantics_for(id(body))
         spec = self.projection_specs.get(id(body))
         param_paths: dict[str, PathSets] | None = None
         used_paths = returned_paths = None
-        if self.semantics == "by-projection" and spec is not None:
+        if semantics == "by-projection" and spec is not None:
             param_paths = spec.param_paths
             used_paths = sorted(str(p) for p in spec.result_paths.used)
             returned_paths = sorted(
@@ -463,7 +534,7 @@ class _Run:
 
         def build_request(raw_calls: list[list[tuple[str, list]]]
                           ) -> RequestMessage:
-            bundle = marshal_calls(raw_calls, self.semantics, param_paths)
+            bundle = marshal_calls(raw_calls, semantics, param_paths)
             return RequestMessage(
                 query=query_text,
                 param_names=param_names,
@@ -483,7 +554,7 @@ class _Run:
         if self.result_cache is not None:
             cache_epoch = self.result_cache.epoch()
             cache_key = response_key(cache_scope or dest_name,
-                                     self.semantics, request_xml,
+                                     semantics, request_xml,
                                      used_paths, returned_paths,
                                      shard_epoch=shard_epoch)
             hit = self.result_cache.lookup_response(cache_key, request_bytes)
@@ -506,13 +577,13 @@ class _Run:
                 resolve_doc=self._resolver(peer.name, stats=stats),
                 xrpc_execute=self._make_xrpc_execute(
                     peer.name, stats=stats, counter=remote_counter),
-                semantics=self.semantics,
+                semantics=semantics,
                 counter=remote_counter,
             )
 
         if self.batcher is not None:
             key = batch_key(dest_name, query_text, param_names,
-                            self.semantics, static_attrs,
+                            semantics, static_attrs,
                             used_paths, returned_paths)
 
             def merged_exchange(merged_calls: list[list[tuple[str, list]]]

@@ -131,13 +131,18 @@ def benchmark_query_variant(max_age: int = 40) -> str:
 
 @dataclass(frozen=True)
 class TenantJob:
-    """One query issued by one client of the multi-tenant workload."""
+    """One query issued by one client of the multi-tenant workload.
+
+    ``strategy`` may be an enum member, a string alias, or ``"auto"``
+    (cost-based planning per query) — whatever
+    :meth:`~repro.system.federation.Federation.run` accepts.
+    """
 
     client: int
     round: int
     query: str
     at: str = "local"
-    strategy: Strategy = Strategy.BY_PROJECTION
+    strategy: Strategy | str = Strategy.BY_PROJECTION
 
 
 def multi_tenant_jobs(clients: int = 8, rounds: int = 2,
@@ -289,6 +294,89 @@ def sharded_tenant_jobs(clients: int = 8, rounds: int = 2,
     return multi_tenant_jobs(clients=clients, rounds=rounds, seed=seed,
                              strategy=strategy, at=at, rng=rng,
                              query_variant=sharded_query_variant)
+
+
+# ---------------------------------------------------------------------------
+# Mixed multi-tenant workload (planner benchmark)
+# ---------------------------------------------------------------------------
+
+#: The reference-data peer of the mixed workload.
+REFDATA_PEER = "refdata"
+
+
+def refdata_document(entries: int = 40) -> str:
+    """A small reference table (currency-rate flavoured): the kind of
+    document whose queries the paper's decomposed strategies *lose* on
+    — per-message latency dwarfs the bytes saved — so a planner must
+    pick data shipping for it while projecting the big documents."""
+    rows = "".join(
+        f"<entry><code>C{index:02d}</code>"
+        f"<rate>{1.0 + index / 17:.4f}</rate>"
+        f"<region>r{index % 5}</region></entry>"
+        for index in range(entries))
+    return f"<rates>{rows}</rates>"
+
+
+#: Scans the tiny reference table: whole-document shipping beats every
+#: decomposed strategy here (one cheap fetch vs. SOAP round trips).
+TINY_LOOKUP_QUERY = f"""
+for $e in doc("xrpc://{REFDATA_PEER}/rates.xml")/child::rates/child::entry
+return if ($e/child::region = "r1") then $e else ()
+"""
+
+#: Touches the big people document *and* the tiny reference table: the
+#: best plan is mixed — decompose the people call site, ship the
+#: reference document — which no single fixed strategy expresses.
+MIXED_CROSS_QUERY = f"""
+(for $p in doc("xrpc://peer1/people.xml")
+           /child::site/child::people/child::person
+ return if ($p/descendant::age < 40) then $p/child::name else (),
+ doc("xrpc://{REFDATA_PEER}/rates.xml")
+     /child::rates/child::entry/child::code)
+"""
+
+
+def build_mixed_federation(scale: float, seed: int = 20090329,
+                           refdata_entries: int = 40,
+                           cost_model: CostModel | None = None
+                           ) -> Federation:
+    """:func:`build_federation` plus the :data:`REFDATA_PEER` peer
+    holding the small reference table — the testbed whose best
+    strategy genuinely differs per query."""
+    federation = build_federation(scale, seed, cost_model)
+    federation.add_peer(REFDATA_PEER).store(
+        "rates.xml", refdata_document(refdata_entries))
+    return federation
+
+
+def mixed_tenant_jobs(clients: int = 6, rounds: int = 2,
+                      seed: int = 20090329,
+                      strategy: Strategy | str = "auto",
+                      at: str = "local",
+                      rng: random.Random | None = None) -> list[TenantJob]:
+    """The planner benchmark's tenant mix: every round, each client
+    draws one of three job shapes — the Section VII semijoin (big
+    documents, decomposition wins), the tiny reference lookup (data
+    shipping wins), or the cross query (a mixed plan wins). A single
+    fixed strategy is wrong for at least one shape, so ``auto`` is the
+    only strategy that can win every draw."""
+    if rng is None:
+        rng = random.Random(seed)
+    shapes = ("semijoin", "lookup", "cross")
+    jobs: list[TenantJob] = []
+    for rnd in range(rounds):
+        for client in range(clients):
+            shape = rng.choice(shapes)
+            if shape == "semijoin":
+                query = benchmark_query_variant(
+                    rng.choice(TENANT_AGE_THRESHOLDS))
+            elif shape == "lookup":
+                query = TINY_LOOKUP_QUERY
+            else:
+                query = MIXED_CROSS_QUERY
+            jobs.append(TenantJob(client=client, round=rnd, query=query,
+                                  at=at, strategy=strategy))
+    return jobs
 
 
 def run_multi_tenant(federation: Federation, jobs: list[TenantJob],

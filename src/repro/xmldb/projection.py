@@ -156,7 +156,6 @@ def _materialize(source: Document, keep: list[bool],
     parents: list[int] = []
     pre_map: dict[int, int] = {}
 
-    root_level = source.levels[new_root]
     end = new_root + source.sizes[new_root]
     for pre in range(new_root, end + 1):
         if not keep[pre]:

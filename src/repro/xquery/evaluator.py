@@ -41,7 +41,7 @@ from repro.xquery.ast import (
     QuantifiedExpr, RangeExpr, SequenceExpr, Step, TypeswitchExpr, UnaryExpr,
     VarRef, XRPCExpr,
 )
-from repro.xquery.context import CostCounter, DynamicContext, StaticContext
+from repro.xquery.context import DynamicContext, StaticContext
 from repro.xquery.types import matches_sequence_type
 from repro.xquery.xdm import (
     atomize, effective_boolean_value, general_compare, to_number,

@@ -22,11 +22,11 @@ import math
 from typing import Any, Callable
 
 from repro.errors import XQueryDynamicError, XQueryTypeError
-from repro.xmldb.compare import deep_equal, sort_document_order
+from repro.xmldb.compare import sort_document_order
 from repro.xmldb.node import Node, NodeKind
 from repro.xquery import xdm
 from repro.xquery.xdm import (
-    UntypedAtomic, atomize, effective_boolean_value, string_value, to_number,
+    atomize, effective_boolean_value, string_value, to_number,
 )
 
 BuiltinImpl = Callable[..., list]

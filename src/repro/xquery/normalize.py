@@ -27,12 +27,9 @@ prose, which assumes a purely functional core):
 
 from __future__ import annotations
 
-from dataclasses import replace as dc_replace
-
 from repro.xquery.ast import (
-    ConstructorExpr, Expr, ForExpr, FunctionDecl, IfExpr, LetExpr, Module,
-    OrderByExpr, PathExpr, QuantifiedExpr, SequenceExpr, TypeswitchExpr,
-    VarRef, XRPCExpr, walk,
+    ConstructorExpr, Expr, ForExpr, FunctionDecl, LetExpr, Module,
+    OrderByExpr, PathExpr, QuantifiedExpr, walk,
 )
 from repro.xquery.scopes import ISOLATED, count_references, free_variables, \
     scoped_children

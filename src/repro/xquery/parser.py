@@ -18,7 +18,6 @@ representation the paper's d-graph analysis assumes.
 from __future__ import annotations
 
 from repro.errors import UndefinedFunctionError, XQuerySyntaxError
-from repro.xquery import ast
 from repro.xquery.ast import (
     ArithmeticExpr, ComparisonExpr, ConstructorExpr, ContextItemExpr,
     EmptySequence, Expr, ForExpr, FunCall, FunctionDecl, IfExpr, LetExpr,

@@ -1,7 +1,6 @@
 """Projection path analysis (Section VI-A) over decomposed queries."""
 
 from repro.paths.analysis import analyze_module
-from repro.paths.relpath import parse_rel_path
 from repro.xquery.ast import XRPCExpr, walk
 from repro.xquery.parser import parse_query
 

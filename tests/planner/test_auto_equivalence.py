@@ -1,0 +1,108 @@
+"""Planner correctness: ``strategy="auto"`` must be value-identical to
+every fixed strategy — whatever plan it picks, on the library corpus
+and the XMark benchmark documents, single-owner and sharded."""
+
+import pytest
+
+from repro.decompose import Strategy
+from repro.system.federation import Federation
+from repro.workloads import (
+    BENCHMARK_QUERY, MIXED_CROSS_QUERY, SHARDED_BENCHMARK_QUERY,
+    SHARDED_SCAN_QUERY, TINY_LOOKUP_QUERY, build_federation,
+    build_mixed_federation, build_sharded_federation,
+)
+from repro.xquery.xdm import sequences_deep_equal
+
+from tests.conftest import COURSE_XML, Q2, STUDENTS_XML
+from tests.integration.test_equivalence import QUERIES
+
+
+@pytest.fixture(scope="module")
+def library_federation():
+    federation = Federation()
+    federation.add_peer("A").store("students.xml", STUDENTS_XML)
+    federation.add_peer("B").store("course42.xml", COURSE_XML)
+    federation.add_peer("local")
+    return federation
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_auto_matches_fixed_on_library_corpus(library_federation, query):
+    baseline = library_federation.run(query, at="local",
+                                      strategy=Strategy.DATA_SHIPPING)
+    auto = library_federation.run(query, at="local", strategy="auto")
+    assert auto.stats.plan is not None
+    assert sequences_deep_equal(baseline.items, auto.items), (
+        f"auto (plan {auto.stats.plan.strategy}) diverges on {query!r}")
+    for strategy in (Strategy.BY_VALUE, Strategy.BY_FRAGMENT,
+                     Strategy.BY_PROJECTION):
+        fixed = library_federation.run(query, at="local",
+                                       strategy=strategy)
+        assert sequences_deep_equal(fixed.items, auto.items)
+
+
+def test_auto_matches_fixed_on_xmark_corpus():
+    federation = build_federation(0.005)
+    baseline = federation.run(BENCHMARK_QUERY, at="local",
+                              strategy=Strategy.DATA_SHIPPING)
+    auto = federation.run(BENCHMARK_QUERY, at="local", strategy="auto")
+    assert sequences_deep_equal(baseline.items, auto.items)
+
+
+@pytest.mark.parametrize("query", [SHARDED_BENCHMARK_QUERY,
+                                   SHARDED_SCAN_QUERY])
+def test_auto_matches_fixed_on_sharded_cluster(query):
+    federation = build_sharded_federation(0.003, shard_count=3)
+    baseline = federation.run(query, at="local",
+                              strategy=Strategy.DATA_SHIPPING)
+    auto = federation.run(query, at="local", strategy="auto")
+    assert auto.stats.plan is not None
+    assert sequences_deep_equal(baseline.items, auto.items)
+
+
+@pytest.mark.parametrize("query", [TINY_LOOKUP_QUERY, MIXED_CROSS_QUERY])
+def test_auto_matches_fixed_on_mixed_workload_queries(query):
+    federation = build_mixed_federation(0.005)
+    baseline = federation.run(query, at="local",
+                              strategy=Strategy.DATA_SHIPPING)
+    auto = federation.run(query, at="local", strategy="auto")
+    assert sequences_deep_equal(baseline.items, auto.items)
+
+
+def test_property_auto_equivalence_random_documents():
+    """Property-style: on random rosters the auto plan (whatever it
+    picks, however calibration has drifted) stays deep-equal to the
+    data-shipping baseline."""
+    from hypothesis import given, settings, strategies as st
+
+    @st.composite
+    def rosters(draw):
+        count = draw(st.integers(2, 6))
+        persons = []
+        for index in range(count):
+            tutor = draw(st.integers(0, count - 1))
+            persons.append(
+                f"<person><name>n{index}</name>"
+                f"<tutor>n{tutor}</tutor><id>s{index}</id></person>")
+        exams = "".join(
+            f'<exam id="s{draw(st.integers(0, count - 1))}">'
+            f"<grade>g{i}</grade></exam>"
+            for i in range(draw(st.integers(1, 5))))
+        return (f"<people>{''.join(persons)}</people>",
+                f"<enroll>{exams}</enroll>")
+
+    @given(rosters())
+    @settings(max_examples=10, deadline=None)
+    def check(pair):
+        students, course = pair
+        federation = Federation()
+        federation.add_peer("A").store("students.xml", students)
+        federation.add_peer("B").store("course42.xml", course)
+        federation.add_peer("local")
+        baseline = federation.run(Q2, at="local",
+                                  strategy=Strategy.DATA_SHIPPING)
+        for _ in range(2):   # second run exercises the plan cache
+            auto = federation.run(Q2, at="local", strategy="auto")
+            assert sequences_deep_equal(baseline.items, auto.items)
+
+    check()

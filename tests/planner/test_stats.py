@@ -1,0 +1,102 @@
+"""StatsCatalog: histograms, laziness, and store invalidation."""
+
+from repro.planner.stats import (
+    StatsCatalog, compute_document_stats, merge_document_stats,
+)
+from repro.system.federation import Federation
+from repro.workloads import build_sharded_federation
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+
+DOC = ("<people><person><name>Ann</name><age>30</age></person>"
+       '<person id="p2"><name>Bob</name></person></people>')
+
+
+def make_federation() -> Federation:
+    federation = Federation()
+    federation.add_peer("A").store("people.xml", DOC)
+    federation.add_peer("local")
+    return federation
+
+
+class TestComputeDocumentStats:
+    def test_counts_and_exact_bytes(self):
+        document = parse_document(DOC, uri="t.xml")
+        exact = len(serialize(document).encode())
+        stats = compute_document_stats(document, "t.xml",
+                                       serialized_bytes=exact)
+        assert stats.serialized_bytes == exact
+        assert stats.elements == 6          # people, 2 person, 2 name, age
+        assert stats.tag("person").count == 2
+        assert stats.tag("name").count == 2
+        assert stats.tag("@id").count == 1
+        assert stats.tag("#text").count == 3
+
+    def test_subtree_bytes_sum_to_document(self):
+        document = parse_document(DOC, uri="t.xml")
+        exact = len(serialize(document).encode())
+        stats = compute_document_stats(document, "t.xml",
+                                       serialized_bytes=exact)
+        # The root element's subtree covers (almost exactly) the
+        # serialised document.
+        root = stats.tag("people")
+        assert abs(root.subtree_bytes - exact) <= 2
+        # Children partition their parent.
+        persons = stats.tag("person")
+        assert persons.subtree_bytes < root.subtree_bytes
+
+    def test_merge_aggregates(self):
+        document = parse_document(DOC, uri="t.xml")
+        stats = compute_document_stats(document, "t.xml",
+                                       serialized_bytes=100)
+        merged = merge_document_stats([stats, stats], uri="m.xml")
+        assert merged.serialized_bytes == 200
+        assert merged.tag("person").count == 4
+        assert merged.elements == 12
+
+
+class TestStatsCatalog:
+    def test_lazy_lookup_and_caching(self):
+        federation = make_federation()
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        stats = catalog.document_stats("A", "people.xml")
+        assert stats is not None and stats.tag("person").count == 2
+        assert catalog.document_stats("A", "people.xml") is stats
+
+    def test_missing_document_and_peer(self):
+        federation = make_federation()
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        assert catalog.document_stats("A", "nope.xml") is None
+        assert catalog.document_stats("ghost", "people.xml") is None
+
+    def test_store_invalidates_and_bumps_version(self):
+        federation = make_federation()
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        before = catalog.document_stats("A", "people.xml")
+        version = catalog.version()
+        federation.peer("A").store(
+            "people.xml", "<people><person/></people>")
+        assert catalog.version() > version
+        after = catalog.document_stats("A", "people.xml")
+        assert after is not before
+        assert after.tag("person").count == 1
+
+    def test_collection_stats_merge_shards(self):
+        federation = build_sharded_federation(0.003, shard_count=3)
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        merged = catalog.document_stats("people-c", "people.xml")
+        assert merged is not None
+        # The merged view must cover every member of every shard.
+        spec = federation.catalog.get("people-c")
+        members = sum(shard.members for shard in spec.shards)
+        assert merged.tag("person").count == members
+
+    def test_federation_planner_exposes_stats(self):
+        federation = make_federation()
+        stats = federation.planner.stats
+        stats.attach(federation)
+        assert stats.document_stats("A", "people.xml") is not None

@@ -153,14 +153,24 @@ class TestScheduling:
             engine.run_all([(Q2, "local")] * 2)
             assert engine.in_flight == 0
 
+    @staticmethod
+    def _cache_listeners(peer):
+        """Store listeners registered by a ResultCache (the planner's
+        StatsCatalog keeps its own persistent listener on the peer)."""
+        from repro.planner.stats import StatsCatalog
+
+        return [listener for listener in peer._store_listeners
+                if not isinstance(getattr(listener, "__self__", None),
+                                  StatsCatalog)]
+
     def test_shutdown_detaches_owned_cache_listeners(self):
         federation = make_federation()
         peer = federation.peer("A")
         engine = FederationEngine(federation, max_workers=1)
         engine.submit(Q2, "local").result()
-        assert len(peer._store_listeners) == 1
+        assert len(self._cache_listeners(peer)) == 1
         engine.shutdown()
-        assert peer._store_listeners == []
+        assert self._cache_listeners(peer) == []
 
     def test_shutdown_keeps_shared_cache_attached(self):
         from repro.runtime.cache import ResultCache
@@ -170,9 +180,9 @@ class TestScheduling:
         engine = FederationEngine(federation, max_workers=1, cache=shared)
         engine.submit(Q2, "local").result()
         engine.shutdown()
-        assert len(federation.peer("A")._store_listeners) == 1
+        assert len(self._cache_listeners(federation.peer("A"))) == 1
         shared.detach()
-        assert federation.peer("A")._store_listeners == []
+        assert self._cache_listeners(federation.peer("A")) == []
 
     def test_submit_after_shutdown_raises(self):
         engine = FederationEngine(make_federation(), max_workers=1)

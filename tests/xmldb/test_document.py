@@ -5,7 +5,7 @@ import pytest
 from repro.errors import XmlError
 from repro.xmldb.document import Document, DocumentBuilder, \
     build_fragment_from_nodes
-from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.node import NodeKind
 from repro.xmldb.parser import parse_document
 
 

@@ -80,7 +80,6 @@ class TestBehaviour:
 
     def test_attributes_dropped_by_default(self):
         doc = parse_fragment('<a q="1"><b r="2"><c/></b></a>')
-        b = by_name(doc, "b")
         c = by_name(doc, "c")
         result = project(used=[c], returned=[])
         kinds = set(result.doc.kinds)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.xmldb.parser import parse_document, parse_fragment
+from repro.xmldb.parser import parse_document
 from repro.xquery.types import matches_sequence_type, split_occurrence
 from repro.xquery.xdm import UntypedAtomic
 

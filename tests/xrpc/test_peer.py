@@ -5,7 +5,7 @@ import pytest
 from repro.errors import XrpcMarshalError, XQueryDynamicError
 from repro.xmldb.parser import parse_document
 from repro.xrpc.marshal import marshal_calls, unmarshal_result
-from repro.xrpc.messages import Atomic, Call, RequestMessage
+from repro.xrpc.messages import Call, RequestMessage
 from repro.xrpc.peer import RequestHandler
 
 
