@@ -1,0 +1,165 @@
+"""Benchmark regression guard: fresh ``BENCH_*.json`` vs. baselines.
+
+Usage::
+
+    python benchmarks/check_regression.py --fresh bench-results \
+        [--baseline benchmarks/baselines] [--tolerance 0.4] \
+        [--enforce-timings [--timing-tolerance 0.75]] [--verbose]
+
+The committed baselines under ``benchmarks/baselines/`` pin the perf
+trajectory. What is enforced is chosen for cross-machine stability:
+
+* ``speedup`` fields (same-machine ratios, e.g. indexed vs. naive in
+  ``BENCH_hotpath.json``) must stay within the tolerance band:
+  ``fresh >= baseline * (1 - tolerance)``;
+* ``result_items`` fields (deterministic outputs) must match exactly —
+  a drift means the benchmark measures different work;
+* row shape: every baseline benchmark must be present with the same
+  row labels (string fields), else the baselines need refreshing.
+
+Absolute timings (``*_ms``, ``*_s``, ``*qps*``, latency percentiles)
+are machine-dependent, so they are reported but only enforced with
+``--enforce-timings`` (useful locally on the machine that produced the
+baselines). Exit code 0 = clean, 1 = regression, 2 = missing files.
+
+Refresh baselines with::
+
+    BENCH_OUT_DIR=benchmarks/baselines PYTHONPATH=src:. \
+        python -m pytest benchmarks/ -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIMING_MARKERS = ("_ms", "_s", "qps", "latency", "time")
+
+
+def classify(field: str) -> str:
+    if field == "speedup":
+        return "ratio"
+    if field == "result_items":
+        return "exact"
+    if any(marker in field for marker in TIMING_MARKERS):
+        return "timing"
+    return "info"
+
+
+def load_rows(path: Path) -> list[dict]:
+    payload = json.loads(path.read_text())
+    return payload.get("rows", [])
+
+
+def row_label(row: dict) -> str:
+    parts = [f"{key}={value}" for key, value in sorted(row.items())
+             if isinstance(value, (str, bool))]
+    return ", ".join(parts) or "<unlabelled>"
+
+
+def compare_rows(name: str, base_row: dict, fresh_row: dict,
+                 options: argparse.Namespace,
+                 failures: list[str], notes: list[str]) -> None:
+    label = row_label(base_row)
+    if row_label(fresh_row) != label:
+        failures.append(
+            f"{name}: row labels diverged ({label!r} vs "
+            f"{row_label(fresh_row)!r}) — refresh the baselines")
+        return
+    for field, base_value in base_row.items():
+        if not isinstance(base_value, (int, float)) \
+                or isinstance(base_value, bool):
+            continue
+        fresh_value = fresh_row.get(field)
+        if not isinstance(fresh_value, (int, float)):
+            failures.append(f"{name} [{label}] {field}: missing in fresh run")
+            continue
+        kind = classify(field)
+        if kind == "ratio":
+            floor = base_value * (1.0 - options.tolerance)
+            if fresh_value < floor:
+                failures.append(
+                    f"{name} [{label}] {field}: {fresh_value} fell below "
+                    f"{floor:.2f} (baseline {base_value}, "
+                    f"tolerance {options.tolerance:.0%})")
+        elif kind == "exact":
+            if fresh_value != base_value:
+                failures.append(
+                    f"{name} [{label}] {field}: {fresh_value} != baseline "
+                    f"{base_value} (deterministic field)")
+        elif kind == "timing":
+            worse = fresh_value > base_value * (1.0 +
+                                                options.timing_tolerance)
+            message = (f"{name} [{label}] {field}: {fresh_value} vs "
+                       f"baseline {base_value}")
+            if options.enforce_timings and worse:
+                failures.append(message + " (timing band exceeded)")
+            elif options.verbose:
+                notes.append(message)
+        elif options.verbose:
+            notes.append(f"{name} [{label}] {field}: "
+                         f"{base_value} -> {fresh_value} (not enforced)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare fresh BENCH_*.json files against baselines.")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "baselines")
+    parser.add_argument("--fresh", type=Path, default=Path("."))
+    parser.add_argument("--tolerance", type=float, default=0.6,
+                        help="allowed relative drop in ratio fields "
+                             "(default 0.6 — ratios are machine-stable "
+                             "but sub-millisecond cells jitter on shared "
+                             "CI runners)")
+    parser.add_argument("--timing-tolerance", type=float, default=0.75,
+                        help="allowed relative timing growth with "
+                             "--enforce-timings (default 0.75)")
+    parser.add_argument("--enforce-timings", action="store_true",
+                        help="fail on absolute timing drift (same-machine "
+                             "comparisons only)")
+    parser.add_argument("--verbose", action="store_true")
+    options = parser.parse_args(argv)
+
+    baselines = sorted(options.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines under {options.baseline}", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    notes: list[str] = []
+    checked = 0
+    for baseline_path in baselines:
+        fresh_path = options.fresh / baseline_path.name
+        if not fresh_path.exists():
+            print(f"missing fresh result {fresh_path}", file=sys.stderr)
+            return 2
+        base_rows = load_rows(baseline_path)
+        fresh_rows = load_rows(fresh_path)
+        name = baseline_path.stem
+        if len(base_rows) != len(fresh_rows):
+            failures.append(
+                f"{name}: {len(fresh_rows)} rows vs baseline "
+                f"{len(base_rows)} — refresh the baselines")
+            continue
+        for base_row, fresh_row in zip(base_rows, fresh_rows):
+            compare_rows(name, base_row, fresh_row, options,
+                         failures, notes)
+        checked += 1
+
+    for note in notes:
+        print(f"[info] {note}")
+    if failures:
+        print(f"{len(failures)} benchmark regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"[check_regression] {checked} benchmark file(s) within "
+          f"tolerance of {options.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,6 +31,7 @@ from repro.cluster.catalog import ClusterError
 from repro.xmldb.axes import attribute as attribute_axis
 from repro.xmldb.axes import child as child_axis
 from repro.xmldb.document import Document, DocumentBuilder
+from repro.xmldb.index import structural_index
 from repro.xmldb.node import Node, NodeKind
 
 
@@ -127,18 +128,21 @@ def _first_element_child(node: Node) -> Node | None:
 
 
 def _named_child(node: Node, name: str) -> Node | None:
-    for candidate in child_axis(node):
-        if candidate.kind == NodeKind.ELEMENT and candidate.name == name:
-            return candidate
-    return None
+    # Tag-index range scan: first child named ``name`` without walking
+    # past-the-name siblings (container spines sit above wide fan-out).
+    pres = structural_index(node.doc).axis_scan("child", name, [node.pre])
+    return Node(node.doc, pres[0]) if pres else None
 
 
 def collection_members(document: Document, container_path: tuple[str, ...],
                        member: str) -> list[Node]:
-    """The member elements, in document order."""
+    """The member elements, in document order (one tag-index scan —
+    the shard-local structural indexes the gather path relies on are
+    built here as a side effect, before any scatter touches them)."""
     container = find_container(document, container_path)
-    return [node for node in child_axis(container)
-            if node.kind == NodeKind.ELEMENT and node.name == member]
+    pres = structural_index(document).axis_scan("child", member,
+                                                [container.pre])
+    return [Node(document, pre) for pre in pres]
 
 
 def partition_document(document: Document,

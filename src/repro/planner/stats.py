@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping
 
 from repro.xmldb.node import NodeKind
+from repro.xmldb.serializer import serialized_byte_length, subtree_spans
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.system.federation import Federation
@@ -72,10 +73,16 @@ def compute_document_stats(document: "Document", uri: str,
                            ) -> DocumentStats:
     """One O(nodes) pass over the pre/size arrays.
 
-    Per-node markup bytes are approximated (tags, attribute syntax,
-    text lengths) and then scaled so their total matches the exact
-    serialised length when the caller provides it — subtree byte
-    figures stay mutually consistent and sum to the true wire size.
+    When the document carries a memoized serialisation (see
+    :func:`repro.xmldb.serializer.subtree_spans`), element subtree
+    byte figures are *exact* — read off the recorded spans instead of
+    approximated; the catalog path always hits this because it
+    serialises the document (memoized) for the exact total first.
+    Without spans, per-node markup bytes are approximated (tags,
+    attribute syntax, text lengths) and then scaled so their total
+    matches the exact serialised length when the caller provides it —
+    subtree byte figures stay mutually consistent and sum to the true
+    wire size either way.
     """
     kinds = document.kinds
     names = document.names
@@ -83,30 +90,47 @@ def compute_document_stats(document: "Document", uri: str,
     sizes = document.sizes
     count = len(kinds)
 
-    own = [0] * count
-    elements = 0
-    for pre in range(count):
-        kind = kinds[pre]
-        if kind == NodeKind.ELEMENT:
-            # <name>...</name> or <name/>
-            own[pre] = 2 * len(names[pre]) + 5
-            elements += 1
-        elif kind == NodeKind.ATTRIBUTE:
-            own[pre] = len(names[pre]) + len(values[pre]) + 4  # name="v"
-        elif kind == NodeKind.TEXT:
-            own[pre] = len(values[pre])
-        elif kind == NodeKind.COMMENT:
-            own[pre] = len(values[pre]) + 7                    # <!-- -->
-        elif kind == NodeKind.PROCESSING_INSTRUCTION:
-            own[pre] = len(names[pre]) + len(values[pre]) + 5  # <? ?>
-    approx_total = sum(own)
-    scale = 1.0
-    if serialized_bytes is not None and approx_total > 0:
-        scale = serialized_bytes / approx_total
+    spans = subtree_spans(document)
+    if spans is not None:
+        starts, ends = spans
+        total_chars = ends[0] - starts[0]
+        elements = sum(1 for kind in kinds if kind == NodeKind.ELEMENT)
+        approx_total = total_chars
+        scale = 1.0
+        if serialized_bytes is not None and total_chars > 0:
+            # Spans are character offsets; rescale to the UTF-8 total.
+            scale = serialized_bytes / total_chars
 
-    prefix = [0] * (count + 1)
-    for pre in range(count):
-        prefix[pre + 1] = prefix[pre] + own[pre]
+        def element_subtree(pre: int) -> int:
+            return ends[pre] - starts[pre]
+    else:
+        own = [0] * count
+        elements = 0
+        for pre in range(count):
+            kind = kinds[pre]
+            if kind == NodeKind.ELEMENT:
+                # <name>...</name> or <name/>
+                own[pre] = 2 * len(names[pre]) + 5
+                elements += 1
+            elif kind == NodeKind.ATTRIBUTE:
+                own[pre] = len(names[pre]) + len(values[pre]) + 4  # name="v"
+            elif kind == NodeKind.TEXT:
+                own[pre] = len(values[pre])
+            elif kind == NodeKind.COMMENT:
+                own[pre] = len(values[pre]) + 7                    # <!-- -->
+            elif kind == NodeKind.PROCESSING_INSTRUCTION:
+                own[pre] = len(names[pre]) + len(values[pre]) + 5  # <? ?>
+        approx_total = sum(own)
+        scale = 1.0
+        if serialized_bytes is not None and approx_total > 0:
+            scale = serialized_bytes / approx_total
+
+        prefix = [0] * (count + 1)
+        for pre in range(count):
+            prefix[pre + 1] = prefix[pre] + own[pre]
+
+        def element_subtree(pre: int) -> int:
+            return prefix[pre + sizes[pre] + 1] - prefix[pre]
 
     counts: dict[str, int] = {}
     byte_totals: dict[str, int] = {}
@@ -114,7 +138,7 @@ def compute_document_stats(document: "Document", uri: str,
         kind = kinds[pre]
         if kind == NodeKind.ELEMENT:
             key = names[pre]
-            subtree = prefix[pre + sizes[pre] + 1] - prefix[pre]
+            subtree = element_subtree(pre)
         elif kind == NodeKind.ATTRIBUTE:
             key = "@" + names[pre]
             subtree = len(values[pre])
@@ -233,10 +257,14 @@ class StatsCatalog:
         document = peer.documents.get(local_name)
         if document is None:
             return None
-        text = peer.serialized(local_name)
+        # Serialising (memoized on the document) records the per-node
+        # spans compute_document_stats reads: byte statistics come free
+        # from the serializer cache instead of a second walk, and the
+        # UTF-8 length is memoized alongside the text.
+        peer.serialized(local_name)
         return compute_document_stats(
             document, uri=f"xrpc://{host}/{local_name}",
-            serialized_bytes=len(text.encode()))
+            serialized_bytes=serialized_byte_length(document))
 
     def _collection_stats(self, federation: "Federation", spec,
                           local_name: str) -> DocumentStats | None:

@@ -42,7 +42,7 @@ from repro.runtime.cache import ResultCache, response_key
 from repro.runtime.transport import LoopbackTransport, Transport
 from repro.xmldb.document import Document
 from repro.xmldb.parser import parse_document
-from repro.xmldb.serializer import serialize
+from repro.xmldb.serializer import cached_serialization, serialize
 from repro.xquery.ast import Expr, Module, XRPCExpr, walk
 from repro.xquery.context import CostCounter, DynamicContext, StaticContext
 from repro.xquery.evaluator import Evaluator
@@ -60,7 +60,6 @@ class Peer:
     def __init__(self, name: str):
         self.name = name
         self.documents: dict[str, Document] = {}
-        self._serialized: dict[str, str] = {}
         self._lock = threading.Lock()
         self._serialize_lock = threading.Lock()
         self._store_listeners: list[Callable[[str, str], None]] = []
@@ -88,7 +87,6 @@ class Peer:
                 content, uri=f"{XRPC_SCHEME}{self.name}/{local_name}")
         with self._lock:
             self.documents[local_name] = document
-            self._serialized.pop(local_name, None)
             listeners = list(self._store_listeners)
         for listener in listeners:
             listener(self.name, local_name)
@@ -103,27 +101,18 @@ class Peer:
             ) from None
 
     def serialized(self, local_name: str) -> str:
-        with self._lock:
-            cached = self._serialized.get(local_name)
+        document = self.document(local_name)
+        # The text is memoized on the document object itself (see
+        # xmldb.serializer), so a store() — which swaps the object —
+        # can never leave a stale write-back behind. Memoized reads
+        # stay lock-free; the per-peer lock only stops concurrent
+        # first-touch queries from redundantly serialising the same
+        # (potentially large) document.
+        cached = cached_serialization(document)
         if cached is not None:
             return cached
-        # One serialisation at a time per peer: concurrent first-touch
-        # queries wait for the leader's text instead of each redundantly
-        # serialising the same (potentially large) document.
         with self._serialize_lock:
-            with self._lock:
-                cached = self._serialized.get(local_name)
-            if cached is not None:
-                return cached
-            document = self.document(local_name)
-            text = serialize(document)
-            with self._lock:
-                # Cache only if no store() swapped the document while we
-                # serialised outside the lock — a stale write-back here
-                # would be served until the next store.
-                if self.documents.get(local_name) is document:
-                    self._serialized[local_name] = text
-            return text
+            return serialize(document)
 
 
 @dataclass

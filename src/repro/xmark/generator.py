@@ -33,8 +33,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from sys import intern
 
 from repro.xmldb.document import Document, DocumentBuilder
+
+#: Region element tags, interned up front: generated documents reuse
+#: one string object per tag, so tag-index keys and name tests compare
+#: by identity (DocumentBuilder interns every name it is handed too).
+_REGIONS = tuple(intern(name) for name in (
+    "africa", "asia", "australia", "europe", "namerica", "samerica"))
 
 _FIRST_NAMES = [
     "Ann", "Bart", "Carol", "Dirk", "Els", "Frank", "Greet", "Hugo",
@@ -118,8 +125,7 @@ def _regions(builder: DocumentBuilder, rng: random.Random,
     per_region = max(1, item_count // 6)
     builder.start_element("regions")
     index = 0
-    for region in ("africa", "asia", "australia", "europe",
-                   "namerica", "samerica"):
+    for region in _REGIONS:
         builder.start_element(region)
         for _ in range(per_region):
             builder.start_element("item")

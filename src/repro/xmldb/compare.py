@@ -35,7 +35,15 @@ def sort_document_order(nodes: list[Node]) -> list[Node]:
     """Sort into document order and remove duplicates (by identity).
 
     This is the mandatory post-processing of every XPath step result.
+    Already-ordered input — one strictly ascending ``(doc_seq, pre)``
+    run, which is what single-context forward-axis walks and all index
+    range scans produce — is detected in one pass and returned as-is,
+    skipping both the sort and the duplicate-tracking set.
     """
+    if not isinstance(nodes, list):
+        nodes = list(nodes)
+    if _is_strictly_ascending(nodes):
+        return nodes
     seen: set[tuple[int, int]] = set()
     out: list[Node] = []
     for node in sorted(nodes, key=document_order_key):
@@ -44,6 +52,22 @@ def sort_document_order(nodes: list[Node]) -> list[Node]:
             seen.add(key)
             out.append(node)
     return out
+
+
+def _is_strictly_ascending(nodes: list[Node]) -> bool:
+    """One strictly ascending document-order run has no duplicates by
+    construction (strict inequality is an identity tie-breaker)."""
+    if len(nodes) < 2:
+        return True
+    previous = nodes[0]
+    for node in nodes[1:]:
+        if node.doc is previous.doc:
+            if node.pre <= previous.pre:
+                return False
+        elif node.order_key() <= previous.order_key():
+            return False
+        previous = node
+    return True
 
 
 def deep_equal(left: Node, right: Node) -> bool:

@@ -20,6 +20,7 @@ element rather than a document node.
 from __future__ import annotations
 
 import itertools
+from sys import intern
 from typing import Iterable, Iterator
 
 from repro.errors import XmlError
@@ -45,7 +46,8 @@ class Document:
     """
 
     __slots__ = ("uri", "kinds", "names", "values", "sizes", "levels",
-                 "parents", "doc_seq", "_id_index", "_idref_index")
+                 "parents", "doc_seq", "epoch", "_id_index", "_idref_index",
+                 "_structural_index", "_ser_cache")
 
     def __init__(self, uri: str, kinds: list[NodeKind], names: list[str],
                  values: list[str], sizes: list[int], levels: list[int],
@@ -60,8 +62,26 @@ class Document:
         self.levels = levels
         self.parents = parents
         self.doc_seq = next(_doc_sequence)
+        self.epoch = 0
         self._id_index: dict[str, int] | None = None
         self._idref_index: dict[str, list[int]] | None = None
+        self._structural_index = None
+        self._ser_cache = None
+
+    def invalidate_caches(self) -> None:
+        """Drop every derived structure (structural index, memoized
+        serialization, ID indexes) and bump the cache epoch.
+
+        Documents are logically immutable — ``Peer.store`` swaps whole
+        ``Document`` objects, which invalidates implicitly — but any
+        code that mutates the arrays in place must call this so a
+        stale index or serialization is never served.
+        """
+        self.epoch += 1
+        self._id_index = None
+        self._idref_index = None
+        self._structural_index = None
+        self._ser_cache = None
 
     # -- basic accessors -----------------------------------------------------
 
@@ -175,7 +195,9 @@ class DocumentBuilder:
     def start_element(self, name: str) -> None:
         if self._has_content:
             self._has_content[-1] = True
-        pre = self._append(NodeKind.ELEMENT, name, "")
+        # Interned names make name tests identity comparisons and let
+        # every document / tag-index key share one string per tag.
+        pre = self._append(NodeKind.ELEMENT, intern(name), "")
         self._stack.append(pre)
         self._has_content.append(False)
 
@@ -184,7 +206,7 @@ class DocumentBuilder:
             raise XmlError("attribute outside an open element")
         if self._has_content[-1]:
             raise XmlError(f"attribute {name!r} after element content")
-        self._append(NodeKind.ATTRIBUTE, name, value)
+        self._append(NodeKind.ATTRIBUTE, intern(name), value)
 
     def text(self, content: str) -> None:
         if not content:
@@ -207,7 +229,7 @@ class DocumentBuilder:
     def processing_instruction(self, target: str, content: str) -> None:
         if self._has_content:
             self._has_content[-1] = True
-        self._append(NodeKind.PROCESSING_INSTRUCTION, target, content)
+        self._append(NodeKind.PROCESSING_INSTRUCTION, intern(target), content)
 
     def end_element(self) -> None:
         if not self._stack or self._kinds[self._stack[-1]] != NodeKind.ELEMENT:

@@ -1,0 +1,321 @@
+"""Structural indexes over the pre/size/level store.
+
+A :class:`StructuralIndex` is built lazily, once, per
+:class:`~repro.xmldb.document.Document` and answers the hot axis steps
+as array range scans instead of tree walks — the same lever the
+paper's host system (MonetDB/XQuery's Pathfinder "staircase join")
+uses:
+
+* **tag index** — element name → sorted pre array (names interned, so
+  index keys share storage with the document's name column);
+* **kind arrays** — sorted pre arrays per node kind (elements, texts,
+  comments, all non-attribute nodes) plus a non-attribute *rank*
+  prefix-count used for O(1) XRPC ``nodeid`` addressing;
+* **path summary** — the distinct root-to-node tag paths with a
+  sorted pre list per path, answering whole ``//a//b`` / ``child::a``
+  chains from the document root with a tiny NFA over the path set and
+  one merge of the matching pre lists.
+
+Every scan yields pres in ascending order with no duplicates, i.e. the
+result is *provably in document order* — the evaluator skips its
+post-step sort for these results.
+
+Indexes ride on the document object itself (documents are logically
+immutable; a :meth:`Peer.store` swaps the whole object, so a stale
+index can never be served) and additionally record the document's
+``epoch``: code that mutates arrays in place must call
+:meth:`Document.invalidate_caches`, and the accessor rebuilds on an
+epoch mismatch.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from itertools import chain as _chain
+from typing import TYPE_CHECKING, Sequence
+
+from repro.xmldb.node import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xmldb.document import Document
+
+_EMPTY: list[int] = []
+
+#: Axes answerable as index range scans (all forward, all yielding
+#: document order). The evaluator falls back to the naive per-node
+#: walk for every other axis.
+INDEXED_AXES = frozenset({
+    "self", "child", "attribute", "descendant", "descendant-or-self",
+})
+
+#: Node tests the scans understand (plus ``*`` and QNames).
+_KIND_TESTS = frozenset({"node()", "text()", "comment()"})
+
+
+def supported_test(test: str) -> bool:
+    """True when ``test`` can be answered from the index arrays."""
+    return not test.endswith("()") or test in _KIND_TESTS
+
+
+class StructuralIndex:
+    """All per-document index structures, built in one array pass."""
+
+    __slots__ = ("doc", "epoch", "tag_pres", "element_pres",
+                 "non_attr_pres", "text_pres", "comment_pres",
+                 "non_attr_rank", "path_of", "path_parent", "path_tag",
+                 "path_pres")
+
+    def __init__(self, doc: "Document"):
+        self.doc = doc
+        self.epoch = doc.epoch
+        kinds = doc.kinds
+        names = doc.names
+        parents = doc.parents
+        count = len(kinds)
+
+        tag_pres: dict[str, list[int]] = {}
+        element_pres: list[int] = []
+        non_attr_pres: list[int] = []
+        text_pres: list[int] = []
+        comment_pres: list[int] = []
+        non_attr_rank = [0] * count
+        path_of = [-1] * count
+        path_key: dict[tuple[int, str], int] = {}
+        path_parent: list[int] = []
+        path_tag: list[str] = []
+        path_pres: list[list[int]] = []
+
+        rank = 0
+        for pre in range(count):
+            kind = kinds[pre]
+            if kind != NodeKind.ATTRIBUTE:
+                rank += 1
+                non_attr_pres.append(pre)
+            non_attr_rank[pre] = rank
+            if kind == NodeKind.ELEMENT:
+                name = names[pre]
+                element_pres.append(pre)
+                bucket = tag_pres.get(name)
+                if bucket is None:
+                    tag_pres[name] = bucket = []
+                bucket.append(pre)
+                parent = parents[pre]
+                parent_path = path_of[parent] if parent >= 0 else -1
+                key = (parent_path, name)
+                path_id = path_key.get(key)
+                if path_id is None:
+                    path_id = len(path_parent)
+                    path_key[key] = path_id
+                    path_parent.append(parent_path)
+                    path_tag.append(name)
+                    path_pres.append([])
+                path_of[pre] = path_id
+                path_pres[path_id].append(pre)
+            elif kind == NodeKind.TEXT:
+                text_pres.append(pre)
+            elif kind == NodeKind.COMMENT:
+                comment_pres.append(pre)
+
+        self.tag_pres = tag_pres
+        self.element_pres = element_pres
+        self.non_attr_pres = non_attr_pres
+        self.text_pres = text_pres
+        self.comment_pres = comment_pres
+        self.non_attr_rank = non_attr_rank
+        self.path_of = path_of
+        self.path_parent = path_parent
+        self.path_tag = path_tag
+        self.path_pres = path_pres
+
+    # -- test dispatch -------------------------------------------------------
+
+    def _candidates(self, test: str) -> list[int]:
+        """Sorted pres of subtree-content nodes matching ``test`` (the
+        candidate pool for child/descendant scans — never attributes)."""
+        if test == "node()":
+            return self.non_attr_pres
+        if test == "*":
+            return self.element_pres
+        if test == "text()":
+            return self.text_pres
+        if test == "comment()":
+            return self.comment_pres
+        return self.tag_pres.get(test, _EMPTY)
+
+    def matches(self, pre: int, test: str) -> bool:
+        """``matches_node_test`` over the raw arrays (self axis)."""
+        if test == "node()":
+            return True
+        kind = self.doc.kinds[pre]
+        if test == "text()":
+            return kind == NodeKind.TEXT
+        if test == "comment()":
+            return kind == NodeKind.COMMENT
+        if kind != NodeKind.ELEMENT and kind != NodeKind.ATTRIBUTE:
+            return False
+        if test == "*":
+            return True
+        return self.doc.names[pre] == test
+
+    # -- nodeid addressing ---------------------------------------------------
+
+    def nodeid(self, root_pre: int, pre: int) -> int:
+        """1-based ``descendant-or-self::node()`` rank of ``pre``
+        within the subtree rooted at ``root_pre`` (attributes excluded)
+        — the XRPC fragment ``nodeid`` in O(1)."""
+        return self.non_attr_rank[pre] - self.non_attr_rank[root_pre] + 1
+
+    # -- axis scans ------------------------------------------------------------
+
+    def axis_scan(self, axis: str, test: str,
+                  pres: Sequence[int]) -> list[int]:
+        """One set-at-a-time axis step over sorted, duplicate-free
+        context pres. Returns sorted, duplicate-free result pres."""
+        if not pres:
+            return []
+        if axis == "self":
+            return [p for p in pres if self.matches(p, test)]
+        if axis == "attribute":
+            return self._attribute_scan(test, pres)
+        if axis == "child":
+            return self._child_scan(test, pres)
+        if axis == "descendant":
+            return self._descendant_scan(test, pres)
+        if axis == "descendant-or-self":
+            selves = [p for p in pres if self.matches(p, test)]
+            below = self._descendant_scan(test, pres)
+            if not selves:
+                return below
+            if not below:
+                return selves
+            return sorted(set(selves).union(below))
+        raise ValueError(f"axis {axis!r} is not index-scannable")
+
+    def _attribute_scan(self, test: str, pres: Sequence[int]) -> list[int]:
+        kinds = self.doc.kinds
+        names = self.doc.names
+        count = len(kinds)
+        by_name = not test.endswith("()") and test != "*"
+        if test == "text()" or test == "comment()":
+            return []
+        out: list[int] = []
+        for owner in pres:
+            if kinds[owner] != NodeKind.ELEMENT:
+                continue
+            cursor = owner + 1
+            # Attributes are stored contiguously right after the owner.
+            while cursor < count and kinds[cursor] == NodeKind.ATTRIBUTE:
+                if not by_name or names[cursor] == test:
+                    out.append(cursor)
+                cursor += 1
+        return out
+
+    def _child_scan(self, test: str, pres: Sequence[int]) -> list[int]:
+        candidates = self._candidates(test)
+        if not candidates:
+            return []
+        doc = self.doc
+        sizes = doc.sizes
+        parents = doc.parents
+        out: list[int] = []
+        for parent in pres:
+            size = sizes[parent]
+            if size == 0:
+                continue
+            lo = bisect_right(candidates, parent)
+            hi = bisect_right(candidates, parent + size, lo)
+            out.extend(p for p in candidates[lo:hi] if parents[p] == parent)
+        # Nested context nodes interleave their child runs; restore the
+        # global order then (child sets of distinct parents are
+        # disjoint, so no dedup is needed).
+        if any(out[i] >= out[i + 1] for i in range(len(out) - 1)):
+            out.sort()
+        return out
+
+    def _descendant_scan(self, test: str, pres: Sequence[int]) -> list[int]:
+        candidates = self._candidates(test)
+        if not candidates:
+            return []
+        sizes = self.doc.sizes
+        out: list[int] = []
+        covered = -1
+        for context in pres:
+            # Subtree intervals of sorted contexts are nested or
+            # disjoint: skip contexts inside an already-scanned range.
+            if context <= covered:
+                continue
+            end = context + sizes[context]
+            lo = bisect_right(candidates, context)
+            hi = bisect_right(candidates, end, lo)
+            out.extend(candidates[lo:hi])
+            covered = end
+        return out
+
+    # -- path summary --------------------------------------------------------
+
+    def match_chain(self, chain: Sequence[tuple[str, str]]) -> list[int]:
+        """All pres reachable from the tree root by ``chain`` — a
+        sequence of predicate-free ``("child" | "descendant", name)``
+        steps — via NFA simulation over the path summary.
+
+        Anchoring follows the root node at ``pre == 0``: a document
+        node anchors above the parentless paths, a fragment root
+        element anchors *at* its own path (its tag is not consumed by
+        the chain). Non-element fragment roots have no element paths
+        and match nothing.
+        """
+        path_parent = self.path_parent
+        path_tag = self.path_tag
+        full = len(chain)
+        anchored = self.doc.kinds[0] == NodeKind.ELEMENT
+        root_path = self.path_of[0] if anchored else -1
+        states: list[tuple[int, ...]] = [()] * len(path_parent)
+        matched: list[int] = []
+        for path_id in range(len(path_parent)):
+            if anchored and path_id == root_path:
+                states[path_id] = (0,)
+                continue
+            parent = path_parent[path_id]
+            if parent < 0:
+                base: tuple[int, ...] = () if anchored else (0,)
+            else:
+                base = states[parent]
+            if not base:
+                continue
+            state = _advance(base, path_tag[path_id], chain)
+            states[path_id] = state
+            if state and state[-1] == full:
+                matched.append(path_id)
+        if not matched:
+            return []
+        if len(matched) == 1:
+            return self.path_pres[matched[0]]
+        return sorted(_chain.from_iterable(
+            self.path_pres[path_id] for path_id in matched))
+
+
+def _advance(states: tuple[int, ...], tag: str,
+             chain: Sequence[tuple[str, str]]) -> tuple[int, ...]:
+    """Consume one path tag: NFA transition over chain positions."""
+    out: set[int] = set()
+    full = len(chain)
+    for position in states:
+        if position >= full:
+            continue
+        axis, name = chain[position]
+        if axis == "descendant":
+            out.add(position)  # the tag is a skipped intermediate
+        if name == "*" or name == tag:
+            out.add(position + 1)
+    return tuple(sorted(out))
+
+
+def structural_index(doc: "Document") -> StructuralIndex:
+    """The document's index, built on first use and rebuilt when the
+    document's cache epoch moved (see ``Document.invalidate_caches``)."""
+    index = doc._structural_index
+    if index is not None and index.epoch == doc.epoch:
+        return index
+    index = StructuralIndex(doc)
+    doc._structural_index = index
+    return index

@@ -10,6 +10,8 @@ the paper's prefix-level treatment of names.
 
 from __future__ import annotations
 
+from sys import intern
+
 from repro.errors import XmlParseError
 from repro.xmldb.document import Document, DocumentBuilder
 
@@ -66,7 +68,10 @@ class _Parser:
             self.pos += 1
         if self.pos == start:
             raise self.error("expected a name")
-        return self.text[start:self.pos]
+        # Interned: a parsed document's tag/attribute names collapse to
+        # one string per distinct name (identity-comparable, and the
+        # substrings don't pin the whole source text alive).
+        return intern(self.text[start:self.pos])
 
     def decode_entities(self, raw: str) -> str:
         if "&" not in raw:

@@ -1,9 +1,20 @@
-"""Serialise nodes back to XML text.
+"""Serialise nodes back to XML text, with per-document memoization.
 
 Serialisation is the marshalling workhorse: pass-by-value copies a
 parameter node by serialising its subtree into the message, and the
 message byte counts that drive the paper's bandwidth experiments
 (Figure 7) are the lengths of these strings.
+
+The serializer is *incremental* and *memoized*: the first full-document
+serialisation records, for every node, the span its subtree occupies in
+the text, so later subtree requests (bulk-RPC fragments, by-value
+copies, shard bodies) are string slices instead of tree re-walks. The
+spans also hand the planner's :class:`~repro.planner.stats.StatsCatalog`
+exact per-subtree byte figures for free. Caches ride on the
+:class:`~repro.xmldb.document.Document` object keyed by its cache
+epoch — a ``Peer.store`` swaps the document object and any in-place
+mutation must call ``Document.invalidate_caches``, so stale text is
+never served.
 """
 
 from __future__ import annotations
@@ -23,21 +34,172 @@ def escape_attribute(value: str) -> str:
             .replace('"', "&quot;"))
 
 
+class SerializedTree:
+    """Memoized serialisation state of one document.
+
+    ``full``/``starts``/``ends`` hold the whole-document text and the
+    per-pre subtree spans (attribute spans cover the escaped value
+    between its quotes, matching ``serialize_node`` on an attribute);
+    ``memo`` caches subtree strings requested before (or independent
+    of) a full serialisation.
+    """
+
+    __slots__ = ("epoch", "full", "starts", "ends", "memo", "byte_length")
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        self.full: str | None = None
+        self.starts: list[int] | None = None
+        self.ends: list[int] | None = None
+        self.memo: dict[int, str] = {}
+        self.byte_length: int | None = None
+
+
+def _tree(doc: Document) -> SerializedTree:
+    cache = doc._ser_cache
+    if cache is None or cache.epoch != doc.epoch:
+        cache = SerializedTree(doc.epoch)
+        doc._ser_cache = cache
+    return cache
+
+
+def serialize(doc: Document) -> str:
+    """Serialise a whole document (or fragment) to a string.
+
+    The text and every node's span in it are memoized on the document;
+    repeated calls (statistics, shipping, fragment slicing) are free.
+    """
+    cache = _tree(doc)
+    if cache.full is None:
+        _build_full(doc, cache)
+    assert cache.full is not None
+    return cache.full
+
+
 def serialize_node(node: Node) -> str:
     """Serialise one node (and its subtree) to a string.
 
     Attribute nodes serialise to their *value* (standalone attributes
     have no XML syntax; XRPC wraps them separately in the message
-    layer).
+    layer). Served as a slice of the memoized document text when one
+    exists (slices are cheap enough not to be worth pinning a second
+    copy of the document in the memo), from the subtree memo otherwise.
     """
+    doc = node.doc
+    pre = node.pre
+    if pre == 0:
+        return serialize(doc)
+    cache = _tree(doc)
+    if cache.full is not None:
+        assert cache.starts is not None and cache.ends is not None
+        return cache.full[cache.starts[pre]:cache.ends[pre]]
+    cached = cache.memo.get(pre)
+    if cached is not None:
+        return cached
     out: list[str] = []
     _serialize_into(node, out)
-    return "".join(out)
+    text = "".join(out)
+    cache.memo[pre] = text
+    return text
 
 
-def serialize(doc: Document) -> str:
-    """Serialise a whole document (or fragment) to a string."""
-    return serialize_node(doc.root)
+def cached_serialization(doc: Document) -> str | None:
+    """The memoized full text if a current one exists, else None —
+    a lock-free fast path for callers that serialise under a lock."""
+    cache = doc._ser_cache
+    if cache is None or cache.epoch != doc.epoch:
+        return None
+    return cache.full
+
+
+def serialized_byte_length(doc: Document) -> int:
+    """UTF-8 length of the serialised document, memoized with it."""
+    cache = _tree(doc)
+    if cache.byte_length is None:
+        cache.byte_length = len(serialize(doc).encode())
+    return cache.byte_length
+
+
+def subtree_spans(doc: Document) -> tuple[list[int], list[int]] | None:
+    """Per-pre ``(starts, ends)`` character spans of the memoized full
+    serialisation, or None when no full serialisation happened yet.
+    ``ends[p] - starts[p]`` is the exact serialised subtree length —
+    the statistics catalog reads these instead of re-walking."""
+    cache = doc._ser_cache
+    if cache is None or cache.epoch != doc.epoch or cache.full is None:
+        return None
+    assert cache.starts is not None and cache.ends is not None
+    return cache.starts, cache.ends
+
+
+# ---------------------------------------------------------------------------
+# Full serialisation with span recording
+# ---------------------------------------------------------------------------
+
+
+def _build_full(doc: Document, cache: SerializedTree) -> None:
+    kinds = doc.kinds
+    names = doc.names
+    values = doc.values
+    count = len(kinds)
+    parts: list[str] = []
+    starts = [0] * count
+    ends = [0] * count
+    length = 0
+
+    def emit(text: str) -> None:
+        nonlocal length
+        parts.append(text)
+        length += len(text)
+
+    def walk(pre: int) -> None:
+        kind = kinds[pre]
+        starts[pre] = length
+        if kind == NodeKind.DOCUMENT:
+            for child_pre in _child_pres(doc, pre):
+                walk(child_pre)
+        elif kind == NodeKind.TEXT:
+            emit(escape_text(values[pre]))
+        elif kind == NodeKind.ATTRIBUTE:
+            # Standalone span: the escaped value only (no quotes), so
+            # a slice equals serialize_node on the attribute.
+            emit(escape_attribute(values[pre]))
+        elif kind == NodeKind.COMMENT:
+            emit(f"<!--{values[pre]}-->")
+        elif kind == NodeKind.PROCESSING_INSTRUCTION:
+            emit(f"<?{names[pre]} {values[pre]}?>")
+        else:  # element
+            name = names[pre]
+            emit(f"<{name}")
+            content_pres: list[int] = []
+            for child_pre in _child_pres(doc, pre, include_attributes=True):
+                if kinds[child_pre] == NodeKind.ATTRIBUTE:
+                    emit(f" {names[child_pre]}=\"")
+                    starts[child_pre] = length
+                    emit(escape_attribute(values[child_pre]))
+                    ends[child_pre] = length
+                    emit('"')
+                else:
+                    content_pres.append(child_pre)
+            if not content_pres:
+                emit("/>")
+            else:
+                emit(">")
+                for child_pre in content_pres:
+                    walk(child_pre)
+                emit(f"</{name}>")
+        if kind != NodeKind.ATTRIBUTE:
+            ends[pre] = length
+
+    walk(0)
+    cache.full = "".join(parts)
+    cache.starts = starts
+    cache.ends = ends
+
+
+# ---------------------------------------------------------------------------
+# Subtree walk (no full text available)
+# ---------------------------------------------------------------------------
 
 
 def _serialize_into(node: Node, out: list[str]) -> None:

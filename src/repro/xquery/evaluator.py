@@ -17,6 +17,17 @@ Cost accounting: each expression evaluation and each axis candidate
 visited bumps the :class:`~repro.xquery.context.CostCounter`; the
 network simulator turns those ticks into the "local exec"/"remote
 exec" components of the paper's Figure 8 breakdown.
+
+Path execution is *set-at-a-time* by default: steps run over sorted
+pre arrays grouped by document, answered by the per-document
+:class:`~repro.xmldb.index.StructuralIndex` (tag/kind/path-summary
+range scans), and the post-step document-order sort is skipped because
+range scans provably yield document order. ``Node`` objects are built
+only at pipeline exits — predicates, constructors, results. Reverse
+and horizontal axes fall back to the naive per-node walk. Pass
+``use_index=False`` (or flip :func:`set_default_use_index`) to force
+the naive tree-walking pipeline everywhere — the equivalence tests and
+the hot-path benchmark compare the two engines.
 """
 
 from __future__ import annotations
@@ -31,6 +42,9 @@ from repro.xmldb.compare import (
     is_same_node, node_after, node_before, sort_document_order,
 )
 from repro.xmldb.document import Document, DocumentBuilder
+from repro.xmldb.index import (
+    INDEXED_AXES, structural_index, supported_test,
+)
 from repro.xmldb.node import Node, NodeKind
 from repro.xquery import functions as fn_mod
 from repro.xquery import xdm
@@ -49,14 +63,31 @@ from repro.xquery.xdm import (
 
 _fragment_counter = itertools.count(1)
 
+#: Process-wide default for the indexed path pipeline. Flipped (via
+#: :func:`set_default_use_index`) only by equivalence tests and the
+#: hot-path benchmark to obtain the naive engine end-to-end.
+_default_use_index = True
+
+
+def set_default_use_index(enabled: bool) -> bool:
+    """Set the process default for indexed path execution; returns the
+    previous value so callers can restore it in a ``finally``."""
+    global _default_use_index
+    previous = _default_use_index
+    _default_use_index = enabled
+    return previous
+
 
 class Evaluator:
     """Evaluates expressions of one module against a dynamic context."""
 
     def __init__(self, module: Module | None = None,
-                 static: StaticContext | None = None):
+                 static: StaticContext | None = None,
+                 use_index: bool | None = None):
         self.module = module if module is not None else Module([], EmptySequence())
         self.static = static if static is not None else StaticContext()
+        self.use_index = (_default_use_index if use_index is None
+                          else use_index)
         self._functions: dict[tuple[str, int], FunctionDecl] = {
             (decl.name, len(decl.params)): decl
             for decl in self.module.functions
@@ -319,12 +350,88 @@ class Evaluator:
 
     def _eval_PathExpr(self, expr: PathExpr, env: DynamicContext) -> list:
         context = self.evaluate(expr.input, env)
-        for step in expr.steps:
-            context = self._apply_step(step, context, env)
-        return context
+        if not self.use_index:
+            for step in expr.steps:
+                context = self._apply_step(step, context, env)
+            return context
+        steps = _collapse_steps(expr.steps)
+        start = 0
+        groups: list[tuple[Document, list[int]]] | None = None
+        # Whole-chain prefix from tree roots: answered by the path
+        # summary as one merge of per-path pre lists (the //a//b case).
+        if context and all(isinstance(item, Node) and item.pre == 0
+                           for item in context):
+            chain_len = _chain_prefix_len(steps)
+            if chain_len:
+                chain = [(s.axis, s.test) for s in steps[:chain_len]]
+                groups = []
+                seen: set[int] = set()
+                docs: list[Document] = []
+                for item in context:
+                    if id(item.doc) not in seen:
+                        seen.add(id(item.doc))
+                        docs.append(item.doc)
+                docs.sort(key=lambda d: d.doc_seq)
+                for doc in docs:
+                    pres = structural_index(doc).match_chain(chain)
+                    env.counter.nodes_visited += len(pres)
+                    if pres:
+                        groups.append((doc, pres))
+                start = chain_len
+        if groups is None:
+            groups = _group_context(context, steps[start])
+        for step in steps[start:]:
+            groups = self._apply_step_groups(step, groups, env)
+        return [Node(doc, pre) for doc, pres in groups for pre in pres]
+
+    def _apply_step_groups(self, step: Step,
+                           groups: list[tuple[Document, list[int]]],
+                           env: DynamicContext
+                           ) -> list[tuple[Document, list[int]]]:
+        """One set-at-a-time step over per-document sorted pre arrays.
+
+        Scannable axes run on the structural index; their results come
+        out range-sorted, so no post-step document-order sort happens.
+        Everything else routes through the naive per-node walk and is
+        regrouped from its sorted output.
+        """
+        if step.axis not in INDEXED_AXES or not supported_test(step.test):
+            nodes = [Node(doc, pre) for doc, pres in groups for pre in pres]
+            return _regroup_sorted(self._apply_step(step, nodes, env))
+        out: list[tuple[Document, list[int]]] = []
+        for doc, pres in groups:
+            index = structural_index(doc)
+            if not step.predicates:
+                result = index.axis_scan(step.axis, step.test, pres)
+                env.counter.nodes_visited += len(result)
+                if result:
+                    out.append((doc, result))
+                continue
+            # Predicates carry per-context positional semantics, so
+            # candidates are produced one context node at a time; the
+            # kept pres are merged and re-sorted per document.
+            kept: set[int] = set()
+            single = [0]
+            for context_pre in pres:
+                single[0] = context_pre
+                candidate_pres = index.axis_scan(step.axis, step.test,
+                                                 single)
+                env.counter.nodes_visited += len(candidate_pres)
+                candidates = [Node(doc, pre) for pre in candidate_pres]
+                for predicate in step.predicates:
+                    candidates = self._filter_predicate(predicate,
+                                                        candidates, env)
+                kept.update(node.pre for node in candidates)
+            if kept:
+                out.append((doc, sorted(kept)))
+        return out
 
     def _apply_step(self, step: Step, context: list,
                     env: DynamicContext) -> list:
+        """Naive tree-walking step: one axis walk per context node,
+        then the mandatory document-order sort. Kept as the fallback
+        for non-scannable axes and as the ``use_index=False`` engine
+        the equivalence tests and benchmarks compare against."""
         xdm.require_nodes(context, f"axis step {step.axis}::{step.test}")
         gathered: list[Node] = []
         for node in context:
@@ -409,6 +516,68 @@ def evaluate_module(module: Module, env: DynamicContext,
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _collapse_steps(steps: list[Step]) -> list[Step]:
+    """Rewrite ``descendant-or-self::node()/child::T`` pairs into
+    ``descendant::T`` (the desugared ``//T``). Sound whenever the child
+    step carries no predicates — a positional predicate is relative to
+    one context node's child list, which the collapse would change."""
+    out: list[Step] = []
+    index = 0
+    while index < len(steps):
+        step = steps[index]
+        if (step.axis == "descendant-or-self" and step.test == "node()"
+                and not step.predicates and index + 1 < len(steps)):
+            following = steps[index + 1]
+            if following.axis == "child" and not following.predicates:
+                out.append(Step("descendant", following.test))
+                index += 2
+                continue
+        out.append(step)
+        index += 1
+    return out
+
+
+def _chain_prefix_len(steps: list[Step]) -> int:
+    """Length of the leading run of predicate-free element-name
+    child/descendant steps — the part the path summary answers whole."""
+    length = 0
+    for step in steps:
+        if step.predicates or step.axis not in ("child", "descendant"):
+            break
+        if step.test != "*" and step.test.endswith("()"):
+            break
+        length += 1
+    return length
+
+
+def _group_context(context: list, step: Step
+                   ) -> list[tuple[Document, list[int]]]:
+    """Nodes → per-document sorted duplicate-free pre arrays, documents
+    in document-order (doc_seq) position."""
+    xdm.require_nodes(context, f"axis step {step.axis}::{step.test}")
+    by_doc: dict[int, tuple[Document, set[int]]] = {}
+    for node in context:
+        entry = by_doc.get(id(node.doc))
+        if entry is None:
+            by_doc[id(node.doc)] = (node.doc, {node.pre})
+        else:
+            entry[1].add(node.pre)
+    groups = [(doc, sorted(pres)) for doc, pres in by_doc.values()]
+    groups.sort(key=lambda group: group[0].doc_seq)
+    return groups
+
+
+def _regroup_sorted(nodes: list[Node]) -> list[tuple[Document, list[int]]]:
+    """Document-order sorted nodes → contiguous per-document groups."""
+    groups: list[tuple[Document, list[int]]] = []
+    for node in nodes:
+        if groups and groups[-1][0] is node.doc:
+            groups[-1][1].append(node.pre)
+        else:
+            groups.append((node.doc, [node.pre]))
+    return groups
 
 
 def math_fmod(x: float, y: float) -> float:

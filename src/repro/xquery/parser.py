@@ -17,6 +17,8 @@ representation the paper's d-graph analysis assumes.
 
 from __future__ import annotations
 
+from sys import intern as _intern
+
 from repro.errors import UndefinedFunctionError, XQuerySyntaxError
 from repro.xquery.ast import (
     ArithmeticExpr, ComparisonExpr, ConstructorExpr, ContextItemExpr,
@@ -536,7 +538,9 @@ class _Parser:
             self.next()
             self.expect_symbol(")")
             return f"{name}()"
-        return name
+        # Interned to match the document store's interned name column:
+        # name tests then compare by identity in the common case.
+        return _intern(name)
 
     def parse_predicates(self) -> list[Expr]:
         predicates: list[Expr] = []

@@ -26,6 +26,7 @@ from repro.errors import XrpcMarshalError
 from repro.paths.analysis import PathSets
 from repro.paths.relpath import RelPath, parse_rel_path
 from repro.xmldb.document import Document, DocumentBuilder
+from repro.xmldb.index import structural_index
 from repro.xmldb.node import Node, NodeKind
 from repro.xmldb.parser import parse_fragment
 from repro.xmldb.projection import project
@@ -147,22 +148,14 @@ class _FragmentPlan:
     root_pre: int                       # in the (possibly projected) doc
     doc: Document                       # the doc the serialised text is from
     pre_map: dict[int, int] | None      # source pre -> projected pre
-    _nodeid_cache: dict[int, int] = field(default_factory=dict)
 
     def nodeid(self, source_pre: int) -> int:
         """1-based index of the node among the fragment's
         ``descendant::node()`` enumeration (attributes excluded),
-        where index 1 is the fragment root itself."""
+        where index 1 is the fragment root itself — an O(1) rank
+        difference on the structural index."""
         pre = source_pre if self.pre_map is None else self.pre_map[source_pre]
-        cached = self._nodeid_cache.get(pre)
-        if cached is not None:
-            return cached
-        count = 0
-        for p in range(self.root_pre, pre + 1):
-            if self.doc.kinds[p] != NodeKind.ATTRIBUTE:
-                count += 1
-        self._nodeid_cache[pre] = count
-        return count
+        return structural_index(self.doc).nodeid(self.root_pre, pre)
 
 
 def _marshal_with_fragments(calls: list[list[tuple[str, list]]],
@@ -368,8 +361,9 @@ class _FragmentSpace:
         doc = self.docs[fragid - 1]
         mapping = self._nodeid_maps[fragid - 1]
         if mapping is None:
-            mapping = [pre for pre in range(len(doc))
-                       if doc.kinds[pre] != NodeKind.ATTRIBUTE]
+            # The structural index's non-attribute array IS the
+            # nodeid → pre mapping (nodeids are 1-based ranks).
+            mapping = structural_index(doc).non_attr_pres
             self._nodeid_maps[fragid - 1] = mapping
         try:
             pre = mapping[nodeid - 1]

@@ -1,0 +1,165 @@
+"""Indexed vs. naive path execution must be indistinguishable.
+
+Three layers:
+
+* hypothesis property — on random generated documents, every axis ×
+  node-test step (with random context subsets, including duplicates
+  and reverse order) yields identical node lists through the indexed
+  set-at-a-time pipeline and the naive per-node walk;
+* query battery — parsed path queries (chains, predicates, positional
+  predicates, reverse axes, unions) agree end-to-end on handcrafted
+  documents;
+* corpora — the library (students/course) and XMark federations give
+  deep-equal results under all four strategies plus ``auto`` with the
+  indexed engine, compared against a naive-engine baseline.
+"""
+
+from hypothesis import given, settings, strategies as st
+import pytest
+
+from repro.decompose import Strategy
+from repro.workloads import BENCHMARK_QUERY, build_federation
+from repro.xmldb.axes import AXES
+from repro.xmldb.document import DocumentBuilder
+from repro.xmldb.node import Node
+from repro.xquery.ast import Step
+from repro.xquery.context import DynamicContext
+from repro.xquery.evaluator import Evaluator, set_default_use_index
+from repro.xquery.parser import parse_query
+from repro.xquery.xdm import sequences_deep_equal
+
+from tests.conftest import COURSE_XML, Q2, STUDENTS_XML
+
+ALL_AXES = sorted(AXES) + ["attribute"]
+TESTS = ["node()", "*", "a", "b", "at0", "text()", "comment()"]
+
+_names = st.sampled_from(["a", "b", "c", "data"])
+_texts = st.text(alphabet="ab <&\"'", min_size=1, max_size=6)
+
+
+@st.composite
+def xml_trees(draw, depth=3):
+    builder = DocumentBuilder("prop.xml")
+
+    def element(level: int) -> None:
+        builder.start_element(draw(_names))
+        for index in range(draw(st.integers(0, 2))):
+            builder.attribute(f"at{index}", draw(_texts))
+        for _ in range(draw(st.integers(0, 3 if level < depth else 0))):
+            choice = draw(st.integers(0, 3))
+            if choice == 0 and level < depth:
+                element(level + 1)
+            elif choice == 1:
+                builder.comment(draw(_texts))
+            else:
+                builder.text(draw(_texts))
+        builder.end_element()
+
+    element(0)
+    return builder.finish()
+
+
+def keys(nodes):
+    return [(id(node.doc), node.pre) for node in nodes]
+
+
+@given(doc=xml_trees(), data=st.data(),
+       axis=st.sampled_from(ALL_AXES), test=st.sampled_from(TESTS))
+@settings(max_examples=120, deadline=None)
+def test_single_step_indexed_equals_naive(doc, data, axis, test):
+    population = list(range(len(doc)))
+    context_pres = data.draw(st.lists(st.sampled_from(population),
+                                      min_size=0, max_size=8))
+    context = [Node(doc, pre) for pre in context_pres]
+    step = Step(axis, test)
+    env = DynamicContext()
+    naive = Evaluator(use_index=False)._apply_step(step, list(context), env)
+    indexed_groups = Evaluator(use_index=True)._apply_step_groups(
+        step, _group(context), env)
+    indexed = [Node(d, p) for d, pres in indexed_groups for p in pres]
+    assert keys(indexed) == keys(naive)
+
+
+def _group(context):
+    from repro.xquery.evaluator import _group_context
+    return _group_context(context, Step("self", "node()"))
+
+
+@given(doc=xml_trees())
+@settings(max_examples=60, deadline=None)
+def test_chain_query_indexed_equals_naive(doc):
+    for query in ("doc('d')//a", "doc('d')//a//b", "doc('d')/a/b",
+                  "doc('d')//a/@at0", "doc('d')//node()/self::text()"):
+        assert_query_agrees(query, doc)
+
+
+QUERY_BATTERY = [
+    "doc('d')//person/name",
+    "doc('d')/child::people/child::person",
+    "doc('d')//person[tutor]/id",
+    "doc('d')//person[2]/name",
+    "doc('d')//person/tutor/parent::person/name",
+    "doc('d')//name/ancestor::*",
+    "doc('d')//person[position() = last()]/name",
+    "doc('d')//person/following-sibling::person/name",
+    "doc('d')//text()",
+    "doc('d')//person[name = 'Ann']/descendant-or-self::node()",
+    "(doc('d')//name union doc('d')//tutor)",
+    "doc('d')//person[tutor][1]/name",
+]
+
+
+@pytest.mark.parametrize("query", QUERY_BATTERY)
+def test_query_battery_on_library_doc(query):
+    from repro.xmldb.parser import parse_document
+    doc = parse_document(STUDENTS_XML, uri="d")
+    assert_query_agrees(query, doc)
+
+
+def assert_query_agrees(query, doc):
+    module = parse_query(query)
+
+    def run(use_index):
+        env = DynamicContext(resolve_doc=lambda uri: doc)
+        return Evaluator(module, use_index=use_index).run(env)
+
+    indexed, naive = run(True), run(False)
+    assert keys(indexed) == keys(naive), query
+
+
+# ---------------------------------------------------------------------------
+# Corpora, end to end, all strategies + auto
+# ---------------------------------------------------------------------------
+
+STRATEGIES = [Strategy.DATA_SHIPPING, Strategy.BY_VALUE,
+              Strategy.BY_FRAGMENT, Strategy.BY_PROJECTION, "auto"]
+
+
+def run_naive(federation, query, at):
+    previous = set_default_use_index(False)
+    try:
+        return federation.run(query, at=at,
+                              strategy=Strategy.DATA_SHIPPING)
+    finally:
+        set_default_use_index(previous)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_library_corpus_end_to_end(strategy):
+    from repro.system.federation import Federation
+
+    federation = Federation()
+    federation.add_peer("A").store("students.xml", STUDENTS_XML)
+    federation.add_peer("B").store("course42.xml", COURSE_XML)
+    federation.add_peer("local")
+    baseline = run_naive(federation, Q2, "local")
+    result = federation.run(Q2, at="local", strategy=strategy)
+    assert sequences_deep_equal(baseline.items, result.items), strategy
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_xmark_corpus_end_to_end(strategy):
+    federation = build_federation(scale=0.004)
+    baseline = run_naive(federation, BENCHMARK_QUERY, "local")
+    result = federation.run(BENCHMARK_QUERY, at="local", strategy=strategy)
+    assert sequences_deep_equal(baseline.items, result.items), strategy
