@@ -75,7 +75,7 @@ def test_fig10_series(documents):
     print_table("Figure 10: projected document size (KB)",
                 ["scale", "compile-time", "runtime", "precision"], rows)
 
-    for scale, doc in documents.items():
+    for doc in documents.values():
         compile_size = len(serialize_node(
             compile_time_projection(doc).doc.root))
         runtime_size = len(serialize_node(

@@ -14,7 +14,7 @@ from benchmarks.conftest import SCALES, STRATEGY_ORDER, print_table
 
 def test_fig7_series(sweep):
     rows = []
-    for scale, runs in sweep.items():
+    for runs in sweep.values():
         docs = runs[Strategy.DATA_SHIPPING].total_document_bytes
         row = [f"{docs/1024:.0f} KB"]
         row.extend(f"{runs[s].stats.total_transferred_bytes/1024:.1f}"

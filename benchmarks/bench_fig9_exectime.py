@@ -14,7 +14,7 @@ from benchmarks.conftest import SCALES, STRATEGY_ORDER, print_table
 
 def test_fig9_series(sweep):
     rows = []
-    for scale, runs in sweep.items():
+    for runs in sweep.values():
         docs = runs[Strategy.DATA_SHIPPING].total_document_bytes
         row = [f"{docs/1024:.0f} KB"]
         row.extend(f"{runs[s].stats.times.total * 1000:.2f}"

@@ -66,8 +66,8 @@ def _figure_workloads():
         auto = _run_cell(build_federation(scale), BENCHMARK_QUERY, "auto")
         cells["auto"] = auto
         best = min((cells[s.value]["actual_s"] for s in STRATEGY_ORDER))
-        for cell in cells.values():
-            rows.append({"workload": "figure7-9", "scale": scale, **cell})
+        rows.extend({"workload": "figure7-9", "scale": scale, **cell}
+                    for cell in cells.values())
         table.append([
             f"{scale:g}", auto["chosen_plan"],
             f"{best * 1e3:.3f}", f"{auto['actual_s'] * 1e3:.3f}",

@@ -13,10 +13,16 @@ router takes over:
    serve any replica's cached response.
 2. **scatter** — one round trip per shard, fanned out over a bounded
    thread pool (``catalog.max_scatter_parallelism``; the transport's
-   per-peer gates still bound per-replica pressure). Each shard call
-   gets a private :class:`RunStats` / :class:`CostCounter` so the
-   accounting stays race-free; they are merged in shard order after
-   the gather, keeping the run's totals deterministic.
+   per-peer gates still bound per-replica pressure). Before fanning
+   out, member-filter bodies
+   (``for $m in coll return if ($m/... op literal) then .. else ()``)
+   are probed against each shard's local value index
+   (:func:`shard_skip_probes`): a shard where provably no node
+   satisfies the filter contributes exactly ``()`` per call, so its
+   round trip is skipped outright (``RunStats.shards_skipped``). Each
+   shard call gets a private :class:`RunStats` / :class:`CostCounter`
+   so the accounting stays race-free; they are merged in shard order
+   after the gather, keeping the run's totals deterministic.
 3. **replica selection** — per shard, live replicas (catalog health)
    are ordered by the transport's live load (in-flight exchanges,
    then total bytes served, then placement order), so the least-loaded
@@ -55,8 +61,13 @@ from repro.net.stats import RunStats
 from repro.xmldb.document import Document, fresh_doc_seq
 from repro.xmldb.node import Node
 from repro.xmldb.parser import parse_document
-from repro.xquery.ast import Expr, FunCall, LetExpr, Literal, XRPCExpr
+from repro.xmldb.values import value_index
+from repro.xquery.ast import (
+    EmptySequence, Expr, ForExpr, FunCall, IfExpr, LetExpr, Literal,
+    PathExpr, VarRef, XRPCExpr,
+)
 from repro.xquery.context import CostCounter
+from repro.xquery.predicates import conjunction_members, literal_probe
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.system.federation import _Run
@@ -118,6 +129,71 @@ def split_xrpc_uri(uri: str) -> tuple[str, str] | None:
         return None
     host, local_name = rest.split("/", 1)
     return (host, local_name) if host else None
+
+
+def shard_skip_probes(body: Expr,
+                      collection: str) -> list[tuple[str, str, object]]:
+    """Necessary-condition probes for skipping shards of ``collection``.
+
+    Recognises the member-filter map shape ``for $m in <collection
+    path> return if (cond) then ... else ()`` (optionally under
+    ``let`` bindings) and extracts ``(key, op, literal)`` conditions
+    from ``cond``'s leading conjuncts: if *no* node named ``key`` in a
+    shard fragment satisfies ``op literal``, the condition is false
+    for every member of that shard and the shard's contribution is
+    provably ``()`` — the scatter can skip the round trip entirely.
+
+    Error parity: a skipped shard evaluates nothing, so a conjunct is
+    only usable while every conjunct to its left is itself a
+    recognised *raise-free* literal comparison (``literal_probe`` with
+    ``pure=True``: predicate-free path, literal of a type untyped
+    atoms always pair with); scanning stops at the first unrecognised
+    conjunct. ``let`` values are peeled only when they are literals,
+    variable references, or predicate-free collection-rooted paths,
+    for the same reason.
+    """
+    rooted: set[str] = set()
+    while isinstance(body, LetExpr):
+        if _rooted_in_collection(body.value, collection, rooted):
+            rooted.add(body.var)
+        elif not isinstance(body.value, (Literal, VarRef)):
+            return []
+        body = body.body
+    if not isinstance(body, ForExpr) or body.pos_var is not None:
+        return []
+    if not _rooted_in_collection(body.seq, collection, rooted):
+        return []
+    if not (isinstance(body.body, IfExpr)
+            and isinstance(body.body.else_branch, EmptySequence)):
+        return []
+    probes: list[tuple[str, str, object]] = []
+    for conjunct in conjunction_members(body.body.cond):
+        probe = literal_probe(conjunct, var=body.var, pure=True)
+        if probe is None:
+            break
+        probes.append(probe)
+    return probes
+
+
+def _rooted_in_collection(expr: Expr, collection: str,
+                          rooted_vars: set[str]) -> bool:
+    """True when ``expr``'s items all come from the collection's
+    member stream (a ``doc()`` call on the collection, a path over
+    one, or a variable bound to one)."""
+    if isinstance(expr, VarRef):
+        return expr.name in rooted_vars
+    if isinstance(expr, PathExpr):
+        # Step predicates could raise during evaluation, which a
+        # skipped shard would hide — only predicate-free paths qualify.
+        if any(step.predicates for step in expr.steps):
+            return False
+        return _rooted_in_collection(expr.input, collection, rooted_vars)
+    if isinstance(expr, FunCall) and expr.name in _DOC_FUNCTIONS \
+            and len(expr.args) == 1:
+        arg = expr.args[0]
+        return (isinstance(arg, Literal) and isinstance(arg.value, str)
+                and arg.value.startswith(f"{XRPC_SCHEME}{collection}/"))
+    return False
 
 
 def _renumber_shard_fragments(outcomes: list["ScatterOutcome"]) -> None:
@@ -227,9 +303,22 @@ class ClusterRouter:
             self.run.site_semantics[id(shard_body)] = semantics
             shard_bodies.append(shard_body)
 
+        probes = shard_skip_probes(body, spec.name)
+        skip = [self._shard_provably_empty(shard, probes)
+                for shard in spec.shards] if probes else [False] * len(
+                    spec.shards)
+
         def call_shard(index: int) -> ScatterOutcome:
             shard = spec.shards[index]
             outcome = ScatterOutcome()
+            if skip[index]:
+                # The shard-local value index proved the member filter
+                # selects nothing here: the shard's contribution is
+                # exactly one empty sequence per call, with no round
+                # trip at all.
+                outcome.results = [[] for _ in calls]
+                outcome.stats.shards_skipped = 1
+                return outcome
             scope = f"{spec.name}#s{shard.index}"
             outcome.results = self._with_failover(
                 shard, outcome,
@@ -323,6 +412,36 @@ class ClusterRouter:
             )
             results.append(evaluator.evaluate(body, env))
         return results
+
+    # -- shard skipping ------------------------------------------------------
+
+    def _shard_provably_empty(self, shard: ShardInfo,
+                              probes: list[tuple[str, str, object]]
+                              ) -> bool:
+        """Probe a live replica's shard-local value index with the
+        body's necessary conditions; True when any probe proves the
+        member filter selects nothing in this shard.
+
+        The in-process simulation reads the replica's document
+        directly — the stand-in for what a deployed system would keep
+        catalog-side (per-shard value synopses / bloom filters). Only
+        *live* replicas are consulted, so a fully-failed shard still
+        surfaces its ClusterError instead of being silently skipped.
+        """
+        for replica in self.catalog.live_replicas(shard):
+            peer = self.run.federation.peers.get(replica)
+            if peer is None:
+                continue
+            document = peer.documents.get(shard.local_name)
+            if document is None:
+                continue
+            vindex = value_index(document)
+            for key, op, value in probes:
+                matched = vindex.probe(key, op, value)
+                if matched is not None and not matched:
+                    return True
+            return False
+        return False
 
     # -- internals ----------------------------------------------------------
 

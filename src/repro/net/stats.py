@@ -78,6 +78,8 @@ class RunStats:
     cache_hits: int = 0          # round trips / shipments served from
     cache_saved_bytes: int = 0   # the runtime's shared result cache
     scatter_shards: int = 0      # per-shard calls issued by the cluster
+    shards_skipped: int = 0      # scatter calls avoided by value-index
+                                 # probes proving the shard empty
     failovers: int = 0           # replica switches after wire faults
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
     #: The physical plan that produced this run (set by the federation
@@ -111,6 +113,7 @@ class RunStats:
         self.cache_hits += other.cache_hits
         self.cache_saved_bytes += other.cache_saved_bytes
         self.scatter_shards += other.scatter_shards
+        self.shards_skipped += other.shards_skipped
         self.failovers += other.failovers
         self.times.shred += other.times.shred
         self.times.local_exec += other.times.local_exec
@@ -129,6 +132,7 @@ class RunStats:
             "cache_hits": self.cache_hits,
             "cache_saved_bytes": self.cache_saved_bytes,
             "scatter_shards": self.scatter_shards,
+            "shards_skipped": self.shards_skipped,
             "failovers": self.failovers,
             "total_time_s": self.times.total,
             "times": self.times.as_dict(),

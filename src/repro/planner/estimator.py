@@ -39,11 +39,14 @@ from repro.planner.ir import (
 )
 from repro.planner.stats import DocumentStats, StatsCatalog
 from repro.xquery.ast import (
-    ArithmeticExpr, ComparisonExpr, ConstructorExpr, ContextItemExpr,
-    EmptySequence, Expr, ForExpr, FunCall, IfExpr, LetExpr, Literal,
-    LogicalExpr, NodeSetExpr, OrderByExpr, PathExpr, QuantifiedExpr,
-    RangeExpr, SequenceExpr, TypeswitchExpr, UnaryExpr, VarRef, XRPCExpr,
-    walk,
+    VALUE_COMPARISONS, ArithmeticExpr, ComparisonExpr, ConstructorExpr,
+    ContextItemExpr, EmptySequence, Expr, ForExpr, FunCall, IfExpr,
+    LetExpr, Literal, LogicalExpr, NodeSetExpr, OrderByExpr, PathExpr,
+    QuantifiedExpr, RangeExpr, SequenceExpr, TypeswitchExpr, UnaryExpr,
+    VarRef, XRPCExpr, walk,
+)
+from repro.xquery.predicates import (
+    FLIPPED_OPS, conjunction_members, literal_probe,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -62,7 +65,9 @@ PER_ITEM_OVERHEAD_BYTES = 25.0
 FRAGMENT_REF_BYTES = 20.0
 #: One serialised projection path in a request header.
 PATH_OVERHEAD_BYTES = 30.0
-#: Selectivity of one predicate / conditional filter.
+#: Selectivity of one predicate / conditional filter when the value
+#: histograms have nothing sharper (see ``_Lowerer._predicate_selectivity``
+#: / ``_condition_selectivity`` for the measured path).
 FILTER_SELECTIVITY = 0.5
 #: Fraction of a subtree's bytes that survive atomisation.
 TEXT_FRACTION = 0.35
@@ -73,9 +78,12 @@ STEP_BYTES_FACTOR = 0.6
 PROJECTION_FACTOR = 0.35
 #: Bytes assumed for a document we have no statistics for.
 DEFAULT_DOC_BYTES = 4096.0
-#: Evaluator work per element touched (ticks / axis visits).
-EXEC_TICKS_PER_ELEMENT = 0.12
-EXEC_VISITS_PER_ELEMENT = 0.6
+#: Evaluator work per element touched (ticks / axis visits),
+#: calibrated against the compiled set-at-a-time engine (index probes
+#: and hash joins tick far less than the per-node walker they
+#: replaced).
+EXEC_TICKS_PER_ELEMENT = 0.05
+EXEC_VISITS_PER_ELEMENT = 0.25
 
 
 @dataclass(frozen=True)
@@ -136,9 +144,10 @@ class PlanEstimator:
 
     # -- shared pricing helpers ---------------------------------------------
 
-    def document_stats(self, host: str,
-                       local_name: str) -> DocumentStats | None:
-        return self.stats.document_stats(host, local_name)
+    def document_stats(self, host: str, local_name: str,
+                       with_values: bool = False) -> DocumentStats | None:
+        return self.stats.document_stats(host, local_name,
+                                         with_values=with_values)
 
     def exec_seconds(self, elements: float, origin: str) -> float:
         model = self.model
@@ -192,6 +201,12 @@ class _Lowerer:
             origin=origin,
             model=estimator.model,
         )
+        # Value histograms cost an extra statistics pass per document;
+        # only queries that actually compare values pay it.
+        self.want_values = any(
+            isinstance(node, ComparisonExpr)
+            and node.op in VALUE_COMPARISONS
+            for node in self._module_exprs())
         self.ops: list = []
         self._shipped: set[tuple[str, str, str]] = set()
         #: Elements touched per execution host (exec estimation).
@@ -261,12 +276,15 @@ class _Lowerer:
             return body.scaled(iterations)
         if isinstance(expr, IfExpr):
             self.visit(expr.cond, env, host, multiplicity)
+            selectivity = self._condition_selectivity(expr.cond, env)
+            if selectivity is None:
+                selectivity = FILTER_SELECTIVITY
             then = self.visit(expr.then_branch, env, host,
-                              multiplicity * FILTER_SELECTIVITY)
+                              multiplicity * selectivity)
             other = self.visit(expr.else_branch, env, host,
-                               multiplicity * (1 - FILTER_SELECTIVITY))
-            return _combine([then.scaled(FILTER_SELECTIVITY),
-                             other.scaled(1 - FILTER_SELECTIVITY)])
+                               multiplicity * (1 - selectivity))
+            return _combine([then.scaled(selectivity),
+                             other.scaled(1 - selectivity)])
         if isinstance(expr, QuantifiedExpr):
             seq = self.visit(expr.seq, env, host, multiplicity)
             self.visit(expr.cond, {**env, expr.var: seq.per_item()},
@@ -338,8 +356,122 @@ class _Lowerer:
             for predicate in step.predicates:
                 self.visit(predicate, {**env, ".": current.per_item()},
                            host, multiplicity * max(current.items, 1.0))
-                current = current.scaled(FILTER_SELECTIVITY)
+                current = current.scaled(
+                    self._predicate_selectivity(predicate, current))
         return current
+
+    def _predicate_selectivity(self, predicate: Expr,
+                               current: _Vol) -> float:
+        """Measured selectivity of one step predicate, read off the
+        source document's value histograms; the calibrated default
+        when the shape or the histograms give nothing sharper."""
+        stats = current.stats
+        if stats is None or stats.values is None:
+            return FILTER_SELECTIVITY
+        selectivity: float | None = None
+        for conjunct in conjunction_members(predicate):
+            probe = literal_probe(conjunct)
+            if probe is None:
+                probe = self._self_probe(conjunct, current)
+            if probe is None:
+                continue
+            key, op, value = probe
+            histogram = stats.values.get(key)
+            if histogram is None:
+                continue
+            fraction = histogram.selectivity(op, value)
+            if fraction is None:
+                continue
+            selectivity = (fraction if selectivity is None
+                           else selectivity * fraction)
+        return FILTER_SELECTIVITY if selectivity is None else selectivity
+
+    @staticmethod
+    def _self_probe(conjunct: Expr,
+                    current: _Vol) -> tuple[str, str, object] | None:
+        """``. op literal`` against the step's own tag histogram."""
+        if current.tag is None or not isinstance(conjunct,
+                                                 ComparisonExpr) \
+                or conjunct.op not in VALUE_COMPARISONS:
+            return None
+        for side, other, op in ((conjunct.left, conjunct.right,
+                                 conjunct.op),
+                                (conjunct.right, conjunct.left,
+                                 FLIPPED_OPS[conjunct.op])):
+            if isinstance(side, ContextItemExpr) \
+                    and isinstance(other, Literal) \
+                    and isinstance(other.value, (str, int, float)) \
+                    and not isinstance(other.value, bool):
+                return (current.tag, op, other.value)
+        return None
+
+    def _condition_selectivity(self, cond: Expr,
+                               env: dict[str, _Vol]) -> float | None:
+        """Measured selectivity of an ``if`` condition: comparisons of
+        ``$var/...path`` sides against literals (histogram lookups) or
+        against another sequence (equality semijoin: ``|right| /
+        distinct(left)``). None when nothing is recognised — the
+        caller falls back to the calibrated default.
+        """
+        if isinstance(cond, LogicalExpr):
+            left = self._condition_selectivity(cond.left, env)
+            right = self._condition_selectivity(cond.right, env)
+            if left is None and right is None:
+                return None
+            left = FILTER_SELECTIVITY if left is None else left
+            right = FILTER_SELECTIVITY if right is None else right
+            if cond.op == "and":
+                return left * right
+            return 1.0 - (1.0 - left) * (1.0 - right)
+        if not isinstance(cond, ComparisonExpr) \
+                or cond.op not in VALUE_COMPARISONS:
+            return None
+        left = self._histogram_of_side(cond.left, env)
+        right = self._histogram_of_side(cond.right, env)
+        if left is not None:
+            histogram, _vol = left
+            if isinstance(cond.right, Literal):
+                value = cond.right.value
+                if not isinstance(value, bool) \
+                        and isinstance(value, (str, int, float)):
+                    return histogram.selectivity(cond.op, value)
+                return None
+            if right is not None and cond.op == "=":
+                # Value-equality semijoin: each left item survives with
+                # probability |right values| / |distinct left values|.
+                _right_hist, right_vol = right
+                return min(1.0, max(right_vol.items, 1.0)
+                           / max(histogram.distinct, 1))
+            return None
+        if right is not None and isinstance(cond.left, Literal):
+            histogram, _vol = right
+            value = cond.left.value
+            if not isinstance(value, bool) \
+                    and isinstance(value, (str, int, float)):
+                return histogram.selectivity(FLIPPED_OPS[cond.op], value)
+        return None
+
+    def _histogram_of_side(self, side: Expr, env: dict[str, _Vol]):
+        """``(histogram, bound _Vol)`` when ``side`` is a relative path
+        from an environment variable whose source document carries
+        value histograms for the path's last named step."""
+        if not (isinstance(side, PathExpr)
+                and isinstance(side.input, VarRef)
+                and side.steps):
+            return None
+        volume = env.get(side.input.name)
+        if volume is None or volume.stats is None \
+                or volume.stats.values is None:
+            return None
+        last = side.steps[-1]
+        if last.test == "*" or last.test.endswith("()"):
+            return None
+        key = ("@" + last.test if last.axis == "attribute"
+               else last.test)
+        histogram = volume.stats.values.get(key)
+        if histogram is None:
+            return None
+        return (histogram, volume)
 
     def _apply_step(self, current: _Vol, axis: str, test: str) -> _Vol:
         stats = current.stats
@@ -459,7 +591,8 @@ class _Lowerer:
             owner, local_name = host, uri     # host-relative document
         else:
             owner, local_name = parts
-        stats = self.estimator.document_stats(owner, local_name)
+        stats = self.estimator.document_stats(
+            owner, local_name, with_values=self.want_values)
         if owner != host:
             self._emit_ship(owner, local_name, host, stats)
         self._touch(host, stats, multiplicity)
@@ -527,8 +660,9 @@ class _Lowerer:
                 expr.body, collection.name) is None:
             # Not scatter-safe: the router falls back to evaluating at
             # the originator over the merged collection document.
-            stats = self.estimator.document_stats(collection.name,
-                                                  collection.document)
+            stats = self.estimator.document_stats(
+                collection.name, collection.document,
+                with_values=self.want_values)
             self._emit_ship(collection.name, collection.document, host,
                             stats)
             self._touch(host, stats, multiplicity)

@@ -143,6 +143,13 @@ class QueryPlanner:
             report = chosen.build_report(candidates=tuple(
                 (plan.label, plan.estimated_s) for _index, plan in ranked))
         planned = PlannedQuery(chosen.decomposition, chosen, report=report)
+        # Re-key after lowering: pricing may have built value
+        # histograms (values_version moved), and this plan *did* see
+        # them — storing under the post-planning key lets the next run
+        # hit, while plans priced before histograms existed stay
+        # unreachable and are re-planned.
+        key = self._cache_key(query, at, label, bulk_rpc, code_motion,
+                              let_sinking)
         with self._lock:
             self._cache[key] = planned
             while len(self._cache) > self.cache_size:
@@ -207,8 +214,12 @@ class QueryPlanner:
         digest = hashlib.sha256(query.encode()).hexdigest()
         catalog = self.federation.catalog
         epoch = catalog.epoch() if catalog is not None else -1
+        # values_version tracks value-histogram *availability*: a plan
+        # priced with default selectivities before any histogram was
+        # built must not be replayed once histograms exist.
         return (digest, at, label, bulk_rpc, code_motion, let_sinking,
-                epoch, self.stats.version(), self.calibration.generation())
+                epoch, self.stats.version(), self.stats.values_version(),
+                self.calibration.generation())
 
     # -- adaptive feedback --------------------------------------------------
 

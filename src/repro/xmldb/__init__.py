@@ -26,6 +26,7 @@ from repro.xmldb.parser import parse_document, parse_fragment
 from repro.xmldb.serializer import serialize, serialize_node
 from repro.xmldb.compare import deep_equal, document_order_key, is_same_node
 from repro.xmldb.projection import project, ProjectionResult
+from repro.xmldb.values import ValueIndex, value_index
 
 __all__ = [
     "Node",
@@ -41,4 +42,6 @@ __all__ = [
     "is_same_node",
     "project",
     "ProjectionResult",
+    "ValueIndex",
+    "value_index",
 ]

@@ -28,6 +28,13 @@ from repro.xmldb.node import Node, NodeKind
 
 _doc_sequence = itertools.count()
 
+#: Default bound for the per-document memo caches (serializer subtree
+#: memo entries, value-index columns). Large enough that single-query
+#: working sets never evict, small enough that a long-lived peer under
+#: a multi-tenant workload stays bounded. Override per document via
+#: ``Document.memo_cache_cap``.
+DEFAULT_MEMO_CACHE_CAP = 1024
+
 
 def fresh_doc_seq() -> int:
     """Allocate the next document sequence number (inter-document
@@ -46,8 +53,9 @@ class Document:
     """
 
     __slots__ = ("uri", "kinds", "names", "values", "sizes", "levels",
-                 "parents", "doc_seq", "epoch", "_id_index", "_idref_index",
-                 "_structural_index", "_ser_cache")
+                 "parents", "doc_seq", "epoch", "memo_cache_cap",
+                 "_id_index", "_idref_index", "_structural_index",
+                 "_value_index", "_ser_cache")
 
     def __init__(self, uri: str, kinds: list[NodeKind], names: list[str],
                  values: list[str], sizes: list[int], levels: list[int],
@@ -63,14 +71,18 @@ class Document:
         self.parents = parents
         self.doc_seq = next(_doc_sequence)
         self.epoch = 0
+        #: Bound on the unbounded-growth memo caches riding on this
+        #: document (serializer subtree memo, value-index columns).
+        self.memo_cache_cap = DEFAULT_MEMO_CACHE_CAP
         self._id_index: dict[str, int] | None = None
         self._idref_index: dict[str, list[int]] | None = None
         self._structural_index = None
+        self._value_index = None
         self._ser_cache = None
 
     def invalidate_caches(self) -> None:
-        """Drop every derived structure (structural index, memoized
-        serialization, ID indexes) and bump the cache epoch.
+        """Drop every derived structure (structural index, value index,
+        memoized serialization, ID indexes) and bump the cache epoch.
 
         Documents are logically immutable — ``Peer.store`` swaps whole
         ``Document`` objects, which invalidates implicitly — but any
@@ -81,6 +93,7 @@ class Document:
         self._id_index = None
         self._idref_index = None
         self._structural_index = None
+        self._value_index = None
         self._ser_cache = None
 
     # -- basic accessors -----------------------------------------------------

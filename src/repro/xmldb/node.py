@@ -132,12 +132,12 @@ class Node:
         if kind in (NodeKind.ATTRIBUTE, NodeKind.TEXT, NodeKind.COMMENT,
                     NodeKind.PROCESSING_INSTRUCTION):
             return self.value
-        parts = []
         doc = self.doc
-        for p in range(self.pre + 1, self.pre + 1 + self.size):
-            if doc.kinds[p] == NodeKind.TEXT:
-                parts.append(doc.values[p])
-        return "".join(parts)
+        kinds = doc.kinds
+        values = doc.values
+        return "".join(
+            values[p] for p in range(self.pre + 1, self.pre + 1 + self.size)
+            if kinds[p] == NodeKind.TEXT)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         kind = self.kind

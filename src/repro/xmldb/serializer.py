@@ -19,6 +19,9 @@ never served.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.xmldb.document import Document
 from repro.xmldb.node import Node, NodeKind
 
@@ -41,17 +44,22 @@ class SerializedTree:
     per-pre subtree spans (attribute spans cover the escaped value
     between its quotes, matching ``serialize_node`` on an attribute);
     ``memo`` caches subtree strings requested before (or independent
-    of) a full serialisation.
+    of) a full serialisation, LRU-bounded by the document's
+    ``memo_cache_cap`` so span-less fragment churn stays bounded.
     """
 
-    __slots__ = ("epoch", "full", "starts", "ends", "memo", "byte_length")
+    __slots__ = ("epoch", "full", "starts", "ends", "memo",
+                 "memo_lock", "byte_length")
 
     def __init__(self, epoch: int):
         self.epoch = epoch
         self.full: str | None = None
         self.starts: list[int] | None = None
         self.ends: list[int] | None = None
-        self.memo: dict[int, str] = {}
+        self.memo: OrderedDict[int, str] = OrderedDict()
+        # Documents are shared across concurrent queries; the LRU's
+        # structural mutations (move_to_end / eviction) need the lock.
+        self.memo_lock = threading.Lock()
         self.byte_length: int | None = None
 
 
@@ -93,13 +101,19 @@ def serialize_node(node: Node) -> str:
     if cache.full is not None:
         assert cache.starts is not None and cache.ends is not None
         return cache.full[cache.starts[pre]:cache.ends[pre]]
-    cached = cache.memo.get(pre)
-    if cached is not None:
-        return cached
+    with cache.memo_lock:
+        cached = cache.memo.get(pre)
+        if cached is not None:
+            cache.memo.move_to_end(pre)
+            return cached
     out: list[str] = []
     _serialize_into(node, out)
     text = "".join(out)
-    cache.memo[pre] = text
+    with cache.memo_lock:
+        cache.memo[pre] = text
+        cap = max(1, doc.memo_cache_cap)
+        while len(cache.memo) > cap:
+            cache.memo.popitem(last=False)
     return text
 
 

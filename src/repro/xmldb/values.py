@@ -1,0 +1,304 @@
+"""Per-document content (value) indexes over element text and
+attribute values.
+
+Where :mod:`repro.xmldb.index` answers *structural* steps
+(``child::person``) as array range scans, a :class:`ValueIndex`
+answers *value* probes (``age < 40``, ``@id = "person7"``) the same
+way: per tag (or ``@attr``) name it keeps the node values as typed
+sorted arrays — one sorted by string (the XQuery codepoint collation
+is plain ``str`` ordering) and one sorted by numeric value for the
+entries whose text coerces to a double — so every general-comparison
+operator becomes one or two :mod:`bisect` range scans returning a
+sorted, duplicate-free pre list.
+
+Columns are built lazily per key on first probe (an element column
+materialises the tag's string values via ``string_value``; attribute
+columns read the value array directly) and are kept in an LRU bounded
+by ``Document.memo_cache_cap``, so a long-lived peer probing many
+distinct keys cannot grow without limit. Like the structural index,
+the whole index rides on the :class:`~repro.xmldb.document.Document`
+object and records its ``epoch``: a ``Peer.store`` swaps the document
+object, in-place mutators call ``invalidate_caches()``, and the
+accessor rebuilds on mismatch — a stale value column is never served.
+
+Comparison semantics match :func:`repro.xquery.xdm.general_compare`
+pair by pair for the shapes the predicate compiler lowers here: node
+values are untyped atomics, so a string probe value compares as a
+string and a numeric probe value compares as a double (entries whose
+text is not numeric become NaN, which satisfies only ``!=``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from collections import OrderedDict
+from math import isnan
+from typing import TYPE_CHECKING, Iterator
+
+from repro.xmldb.node import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xmldb.document import Document
+
+#: Operators a value column can answer as range scans.
+PROBE_OPS = frozenset({"=", "!=", "<", "<=", ">", ">=", "exists"})
+
+_EMPTY: list[int] = []
+
+
+def coerce_number(text: str) -> float:
+    """``fn:number`` on an untyped value: a double, NaN when the text
+    is not numeric (mirrors :func:`repro.xquery.xdm.to_number`)."""
+    try:
+        return float(text.strip())
+    except ValueError:
+        return float("nan")
+
+
+class ValueColumn:
+    """The typed sorted arrays of one tag / attribute name.
+
+    ``str_values``/``str_pres`` cover *every* indexed node of the key,
+    sorted by ``(value, pre)``; ``num_values``/``num_pres`` cover the
+    numeric-coercible subset, sorted by ``(number, pre)``. ``all_pres``
+    is the key's full pre list in document order (complement scans).
+    """
+
+    __slots__ = ("key", "str_values", "str_pres", "num_values",
+                 "num_pres", "all_pres")
+
+    def __init__(self, key: str, entries: list[tuple[str, int]]):
+        self.key = key
+        entries.sort()
+        self.str_values = [value for value, _pre in entries]
+        self.str_pres = [pre for _value, pre in entries]
+        numeric = sorted(
+            (number, pre)
+            for value, pre in entries
+            if not isnan(number := coerce_number(value)))
+        self.num_values = [number for number, _pre in numeric]
+        self.num_pres = [pre for _number, pre in numeric]
+        self.all_pres = sorted(self.str_pres)
+
+    def __len__(self) -> int:
+        return len(self.str_pres)
+
+    # -- probes --------------------------------------------------------------
+
+    def probe(self, op: str, value: object) -> list[int] | None:
+        """Sorted pres of nodes whose value satisfies ``value-op-probe``
+        under general-comparison coercion; None when the probe value's
+        type is not supported (booleans — the caller falls back)."""
+        if op == "exists":
+            return self.all_pres
+        if isinstance(value, bool):
+            return None
+        if isinstance(value, (int, float)):
+            return self._probe_numeric(op, float(value))
+        if isinstance(value, str):
+            return self._probe_string(op, str(value))
+        return None
+
+    def _probe_string(self, op: str, value: str) -> list[int]:
+        values = self.str_values
+        lo = bisect_left(values, value)
+        hi = bisect_right(values, value, lo)
+        if op == "=":
+            return sorted(self.str_pres[lo:hi])
+        if op == "!=":
+            return sorted(self.str_pres[:lo] + self.str_pres[hi:])
+        if op == "<":
+            return sorted(self.str_pres[:lo])
+        if op == "<=":
+            return sorted(self.str_pres[:hi])
+        if op == ">":
+            return sorted(self.str_pres[hi:])
+        if op == ">=":
+            return sorted(self.str_pres[lo:])
+        raise ValueError(f"unknown probe operator {op!r}")
+
+    def _probe_numeric(self, op: str, value: float) -> list[int]:
+        if isnan(value):
+            # NaN satisfies only !=, and it does so against everything.
+            return self.all_pres if op == "!=" else _EMPTY
+        values = self.num_values
+        lo = bisect_left(values, value)
+        hi = bisect_right(values, value, lo)
+        if op == "=":
+            return sorted(self.num_pres[lo:hi])
+        if op == "!=":
+            # Non-numeric entries coerce to NaN, and NaN != n is true:
+            # the complement runs over *all* pres, not just numeric ones.
+            equal = set(self.num_pres[lo:hi])
+            if not equal:
+                return self.all_pres
+            return [pre for pre in self.all_pres if pre not in equal]
+        if op == "<":
+            return sorted(self.num_pres[:lo])
+        if op == "<=":
+            return sorted(self.num_pres[:hi])
+        if op == ">":
+            return sorted(self.num_pres[hi:])
+        if op == ">=":
+            return sorted(self.num_pres[lo:])
+        raise ValueError(f"unknown probe operator {op!r}")
+
+
+class ValueIndex:
+    """All value columns of one document, built lazily per key.
+
+    Keys are element tag names (column over the elements' string
+    values — concatenated descendant text, as atomization defines) and
+    ``@name`` attribute names (column over attribute values). The
+    per-key column cache is an LRU bounded by the document's
+    ``memo_cache_cap``; peers share documents across concurrent
+    queries, so the LRU mutations are lock-guarded (built columns are
+    immutable and probed lock-free once handed out).
+    """
+
+    __slots__ = ("doc", "epoch", "_columns", "_attr_pres", "_lock")
+
+    def __init__(self, doc: "Document"):
+        self.doc = doc
+        self.epoch = doc.epoch
+        self._columns: OrderedDict[str, ValueColumn | None] = OrderedDict()
+        self._attr_pres: dict[str, list[int]] | None = None
+        self._lock = threading.Lock()
+
+    # -- column construction -------------------------------------------------
+
+    def _attribute_pres(self, name: str) -> list[int]:
+        by_name = self._attr_pres
+        if by_name is None:
+            by_name = {}
+            kinds = self.doc.kinds
+            names = self.doc.names
+            for pre, kind in enumerate(kinds):
+                if kind == NodeKind.ATTRIBUTE:
+                    by_name.setdefault(names[pre], []).append(pre)
+            # Benign publish race: concurrent builders produce the
+            # same immutable table; last store wins.
+            self._attr_pres = by_name
+        return by_name.get(name, _EMPTY)
+
+    def _build(self, key: str) -> ValueColumn | None:
+        doc = self.doc
+        if key.startswith("@"):
+            values = doc.values
+            entries = [(values[pre], pre)
+                       for pre in self._attribute_pres(key[1:])]
+        else:
+            # Import here: document -> values -> index would otherwise
+            # cycle at module import time.
+            from repro.xmldb.index import structural_index
+
+            pres = structural_index(doc).tag_pres.get(key, _EMPTY)
+            entries = [(_element_text(doc, pre), pre) for pre in pres]
+        if not entries:
+            return None
+        return ValueColumn(key, entries)
+
+    def column(self, key: str) -> ValueColumn | None:
+        """The column for ``key`` (built on first use, LRU-retained);
+        None when no node with that name exists."""
+        columns = self._columns
+        with self._lock:
+            if key in columns:
+                columns.move_to_end(key)
+                return columns[key]
+        column = self._build(key)
+        with self._lock:
+            columns[key] = column
+            cap = max(1, self.doc.memo_cache_cap)
+            while len(columns) > cap:
+                columns.popitem(last=False)
+        return column
+
+    def probe(self, key: str, op: str, value: object) -> list[int] | None:
+        """Sorted pres of ``key`` nodes satisfying ``op value``; an
+        empty list when the key has no nodes, None when the probe is
+        unsupported (the caller must fall back)."""
+        column = self.column(key)
+        if column is None:
+            return _EMPTY
+        return column.probe(op, value)
+
+    def attribute_pres(self, name: str) -> list[int]:
+        """Sorted pres of every attribute named ``name`` (existence
+        probes — no value column is materialised for these)."""
+        return self._attribute_pres(name)
+
+    def cached_columns(self) -> int:
+        """How many columns the LRU currently retains (tests/metrics)."""
+        return len(self._columns)
+
+
+def _element_text(doc: "Document", pre: int) -> str:
+    """String value of an element: concatenated descendant text."""
+    kinds = doc.kinds
+    values = doc.values
+    end = pre + doc.sizes[pre]
+    parts = [values[cursor]
+             for cursor in range(pre + 1, end + 1)
+             if kinds[cursor] == NodeKind.TEXT]
+    if len(parts) == 1:
+        return parts[0]
+    return "".join(parts)
+
+
+def node_string(doc: "Document", pre: int) -> str:
+    """The XDM string value of the node at ``pre`` straight off the
+    arrays (what atomization yields, without building a Node)."""
+    kind = doc.kinds[pre]
+    if kind in (NodeKind.ATTRIBUTE, NodeKind.TEXT, NodeKind.COMMENT,
+                NodeKind.PROCESSING_INSTRUCTION):
+        return doc.values[pre]
+    return _element_text(doc, pre)
+
+
+def value_index(doc: "Document") -> ValueIndex:
+    """The document's value index, built on first use and rebuilt when
+    the cache epoch moved (see ``Document.invalidate_caches``)."""
+    index = doc._value_index
+    if index is not None and index.epoch == doc.epoch:
+        return index
+    index = ValueIndex(doc)
+    doc._value_index = index
+    return index
+
+
+def iter_leaf_values(doc: "Document") -> Iterator[tuple[str, str]]:
+    """Yield ``(key, value)`` pairs for the histogram-worthy content of
+    a document: every attribute (``@name`` keys) and every *leaf*
+    element (no element children — the typed fields statistics care
+    about; container elements would only smear the histograms).
+
+    One O(nodes) pass; shared by the planner's statistics catalog so
+    its per-tag value histograms and the evaluator's value index agree
+    on what a node's comparable value is.
+    """
+    kinds = doc.kinds
+    names = doc.names
+    values = doc.values
+    sizes = doc.sizes
+    count = len(kinds)
+    for pre in range(count):
+        kind = kinds[pre]
+        if kind == NodeKind.ATTRIBUTE:
+            yield "@" + names[pre], values[pre]
+        elif kind == NodeKind.ELEMENT:
+            end = pre + sizes[pre]
+            has_element_child = False
+            parts: list[str] = []
+            cursor = pre + 1
+            while cursor <= end:
+                child_kind = kinds[cursor]
+                if child_kind == NodeKind.ELEMENT:
+                    has_element_child = True
+                    break
+                if child_kind == NodeKind.TEXT:
+                    parts.append(values[cursor])
+                cursor += sizes[cursor] + 1
+            if not has_element_child:
+                yield names[pre], "".join(parts)

@@ -184,8 +184,9 @@ def fn_exists(evaluator, env, seq):
 def fn_distinct_values(evaluator, env, seq):
     seen: list = []
     for atom in atomize(seq):
-        if not any(xdm.items_equal(atom, s) for s in seen):
-            seen.append(atom)
+        if any(xdm.items_equal(atom, s) for s in seen):
+            continue
+        seen.append(atom)
     return seen
 
 

@@ -1,0 +1,741 @@
+"""Predicate compilation: recognising comparison shapes once per query.
+
+The naive evaluator re-walks the predicate AST for every candidate
+node — ``//person[child::age < 40]`` costs one full recursive
+evaluation per person. This module lowers recognised predicate shapes
+*once* (the compiled plan is cached per ``Step`` by the evaluator) into
+one of two forms:
+
+* an :class:`IndexPlan` — a conjunction of value-index probes
+  (``child::T op literal``, ``@a op literal``, ``. op literal``,
+  bare existence tests, and ``$var`` right-hand sides resolved at
+  filter time), applied **set-at-a-time**: one
+  :class:`~repro.xmldb.values.ValueIndex` range scan per probe,
+  intersected with the step's candidate pre array through the parent
+  pointers / subtree intervals — no per-candidate work at all;
+* a :class:`ClosurePlan` — residual general predicates (multi-step
+  relative paths, ``or``, ``not()``/``exists()``/``empty()``) compiled
+  into one Python closure per predicate evaluated per candidate over
+  the raw document arrays — no AST re-dispatch, no per-node dynamic
+  context construction.
+
+Positional predicates (numeric values, ``position()``/``last()``) and
+anything else unrecognised compile to ``None`` and keep the naive
+per-context path, which also remains the ``use_index=False``
+equivalence baseline.
+
+Compiled comparisons cannot raise type errors the naive walker would
+not: node-derived operands are untyped atomics, which pair with every
+atom type general comparison accepts (see ``xdm._comparable_pair``),
+and probe values of unsupported types (booleans) make the plan bail to
+the naive path at filter time instead of guessing.
+
+The recognisers at the bottom (:func:`conjunction_members`,
+:func:`literal_probe`, :func:`EqualityMatcher`) are shared with the
+cost-based planner (measured predicate selectivities) and the cluster
+router (shard-skip probing).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from math import isnan
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.xmldb.values import coerce_number, node_string, value_index
+from repro.xquery.ast import (
+    ComparisonExpr, ContextItemExpr, Expr, ForExpr, FunCall, LetExpr,
+    Literal, LogicalExpr, OrderByExpr, PathExpr, QuantifiedExpr,
+    TypeswitchExpr, VALUE_COMPARISONS, VarRef, XRPCExpr,
+)
+from repro.xquery.xdm import UntypedAtomic, atomize, general_compare
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xmldb.document import Document
+    from repro.xmldb.index import StructuralIndex
+    from repro.xquery.context import DynamicContext
+
+#: Mirror of each comparison operator with its operands swapped
+#: (``40 > age``  ≡  ``age < 40``).
+FLIPPED_OPS = {"=": "=", "!=": "!=", "<": ">", "<=": ">=",
+               ">": "<", ">=": "<="}
+
+#: Selector axes an IndexPlan can intersect set-at-a-time.
+_PROBE_AXES = frozenset({"self", "child", "attribute", "descendant"})
+
+#: Selector axes a ClosurePlan getter can walk per node.
+_CLOSURE_AXES = frozenset({"self", "child", "attribute", "descendant",
+                           "descendant-or-self"})
+
+_NOT_NAMES = frozenset({"not", "fn:not"})
+_EXISTS_NAMES = frozenset({"exists", "fn:exists"})
+_EMPTY_NAMES = frozenset({"empty", "fn:empty"})
+
+
+def _is_name_test(test: str) -> bool:
+    return test != "*" and not test.endswith("()")
+
+
+# ---------------------------------------------------------------------------
+# Probes (index plans)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One indexable conjunct: ``axis::name op rhs`` from the anchor.
+
+    ``axis == "self"`` probes the anchor node itself (``name`` empty;
+    the step's own test supplies the column). ``op == "exists"`` is a
+    bare existence test with no right-hand side. The right-hand side is
+    either ``literal`` or the variable ``var``, resolved at filter
+    time.
+    """
+
+    axis: str
+    name: str
+    op: str
+    literal: object = None
+    var: str | None = None
+
+    def key(self, step_axis: str, step_test: str) -> str | None:
+        """The value-index column this probe reads, given the step the
+        predicate hangs off; None when the step shape can't supply one
+        (``self`` probes need a concrete name test)."""
+        if self.axis == "attribute":
+            return "@" + self.name
+        if self.axis != "self":
+            return self.name
+        if not _is_name_test(step_test):
+            return None
+        return "@" + step_test if step_axis == "attribute" else step_test
+
+
+class IndexPlan:
+    """A conjunction of :class:`Probe` filters, applied set-at-a-time."""
+
+    __slots__ = ("probes",)
+
+    def __init__(self, probes: tuple[Probe, ...]):
+        self.probes = probes
+
+    def filter(self, doc: "Document", sindex: "StructuralIndex",
+               pres: list[int], step_axis: str, step_test: str,
+               env: "DynamicContext") -> list[int] | None:
+        """Candidate pres surviving every probe; None to signal the
+        caller to fall back to the naive per-context path (unsupported
+        runtime value types, un-keyable self probes)."""
+        vindex = value_index(doc)
+        kept = pres
+        for probe in self.probes:
+            if not kept:
+                return kept
+            matched = self._matched_pres(probe, doc, sindex, vindex,
+                                         step_axis, step_test, env)
+            if matched is None:
+                return None
+            kept = _intersect(probe.axis, doc, kept, matched)
+        return kept
+
+    def _matched_pres(self, probe: Probe, doc: "Document",
+                      sindex: "StructuralIndex", vindex,
+                      step_axis: str, step_test: str,
+                      env: "DynamicContext") -> list[int] | None:
+        if probe.op == "exists":
+            if probe.axis == "attribute":
+                return vindex.attribute_pres(probe.name)
+            return sindex.tag_pres.get(probe.name, [])
+        key = probe.key(step_axis, step_test)
+        if key is None:
+            return None
+        if probe.var is None:
+            return vindex.probe(key, probe.op, probe.literal)
+        atoms = atomize(env.lookup(probe.var))
+        if not atoms:
+            return []
+        union: set[int] | None = None
+        single: list[int] | None = None
+        for atom in atoms:
+            value: object = str(atom) if isinstance(atom, UntypedAtomic) \
+                else atom
+            matched = vindex.probe(key, probe.op, value)
+            if matched is None:
+                return None
+            if single is None and union is None:
+                single = matched
+            else:
+                if union is None:
+                    union = set(single or ())
+                    single = None
+                union.update(matched)
+        if union is not None:
+            return sorted(union)
+        return single if single is not None else []
+
+
+def _intersect(axis: str, doc: "Document", candidates: list[int],
+               matched: list[int]) -> list[int]:
+    """Candidates related to a matched node through ``axis``."""
+    if not matched:
+        return []
+    if axis == "self":
+        matched_set = set(matched)
+        return [pre for pre in candidates if pre in matched_set]
+    if axis in ("child", "attribute"):
+        parents = doc.parents
+        owners = {parents[pre] for pre in matched}
+        return [pre for pre in candidates if pre in owners]
+    # descendant: any matched pre inside the candidate's subtree.
+    sizes = doc.sizes
+    out = []
+    for pre in candidates:
+        lo = bisect_right(matched, pre)
+        if lo < len(matched) and matched[lo] <= pre + sizes[pre]:
+            out.append(pre)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Closure plans (residual general predicates)
+# ---------------------------------------------------------------------------
+
+
+class _ClosureCtx:
+    """Per-filter-call state shared by a closure's evaluations: the
+    document arrays and the predicate's variable bindings, atomized
+    once for the whole candidate set instead of per node."""
+
+    __slots__ = ("doc", "sindex", "bindings")
+
+    def __init__(self, doc: "Document", sindex: "StructuralIndex",
+                 bindings: dict[str, list]):
+        self.doc = doc
+        self.sindex = sindex
+        self.bindings = bindings
+
+
+class ClosurePlan:
+    """One compiled boolean closure, applied per candidate node."""
+
+    __slots__ = ("fn", "var_names")
+
+    def __init__(self, fn: Callable[[_ClosureCtx, int], bool],
+                 var_names: tuple[str, ...]):
+        self.fn = fn
+        self.var_names = var_names
+
+    def filter(self, doc: "Document", sindex: "StructuralIndex",
+               pres: list[int], step_axis: str, step_test: str,
+               env: "DynamicContext") -> list[int]:
+        bindings = {name: atomize(env.lookup(name))
+                    for name in self.var_names}
+        ctx = _ClosureCtx(doc, sindex, bindings)
+        fn = self.fn
+        return [pre for pre in pres if fn(ctx, pre)]
+
+
+def _atoms_of_pres(ctx: _ClosureCtx, pres: Sequence[int]) -> list:
+    doc = ctx.doc
+    return [UntypedAtomic(node_string(doc, pre)) for pre in pres]
+
+
+def _compile_getter(expr: Expr):
+    """Compile a comparison operand into ``fn(ctx, pre) -> list`` of
+    atoms, plus the variable names it reads; None when unsupported."""
+    if isinstance(expr, Literal):
+        const = [expr.value]
+        return (lambda ctx, pre: const), ()
+    if isinstance(expr, VarRef):
+        name = expr.name
+        return (lambda ctx, pre: ctx.bindings[name]), (name,)
+    if isinstance(expr, ContextItemExpr):
+        return (lambda ctx, pre: _atoms_of_pres(ctx, (pre,))), ()
+    steps = _relative_steps(expr, _CLOSURE_AXES)
+    if steps is None:
+        return None
+
+    def walk(ctx: _ClosureCtx, pre: int) -> list:
+        pres: Sequence[int] = (pre,)
+        for axis, test in steps:
+            pres = ctx.sindex.axis_scan(axis, test, pres)
+            if not pres:
+                return []
+        return _atoms_of_pres(ctx, pres)
+
+    return walk, ()
+
+
+def _relative_steps(expr: Expr, axes: frozenset[str]
+                    ) -> tuple[tuple[str, str], ...] | None:
+    """``(axis, test)`` chain of a predicate-free relative path over
+    the given axes, rooted at the context item; None otherwise."""
+    from repro.xmldb.index import supported_test
+
+    if not (isinstance(expr, PathExpr)
+            and isinstance(expr.input, ContextItemExpr)):
+        return None
+    out: list[tuple[str, str]] = []
+    for step in expr.steps:
+        if step.predicates or step.axis not in axes \
+                or not supported_test(step.test):
+            return None
+        out.append((step.axis, step.test))
+    return tuple(out)
+
+
+def _compile_boolean(expr: Expr):
+    """Compile a predicate into ``fn(ctx, pre) -> bool`` plus its
+    variable names; None when the shape is unsupported."""
+    if isinstance(expr, LogicalExpr):
+        left = _compile_boolean(expr.left)
+        right = _compile_boolean(expr.right)
+        if left is None or right is None:
+            return None
+        lfn, lvars = left
+        rfn, rvars = right
+        if expr.op == "and":
+            return (lambda ctx, pre: lfn(ctx, pre) and rfn(ctx, pre)), \
+                lvars + rvars
+        return (lambda ctx, pre: lfn(ctx, pre) or rfn(ctx, pre)), \
+            lvars + rvars
+    if isinstance(expr, ComparisonExpr):
+        if expr.op not in VALUE_COMPARISONS:
+            return None
+        left = _compile_getter(expr.left)
+        right = _compile_getter(expr.right)
+        if left is None or right is None:
+            return None
+        lfn, lvars = left
+        rfn, rvars = right
+        op = expr.op
+        return (lambda ctx, pre: general_compare(
+            op, lfn(ctx, pre), rfn(ctx, pre))), lvars + rvars
+    if isinstance(expr, FunCall) and len(expr.args) == 1:
+        if expr.name in _NOT_NAMES:
+            inner = _compile_boolean(expr.args[0])
+            if inner is None:
+                return None
+            ifn, ivars = inner
+            return (lambda ctx, pre: not ifn(ctx, pre)), ivars
+        if expr.name in _EXISTS_NAMES or expr.name in _EMPTY_NAMES:
+            steps = _relative_steps(expr.args[0], _CLOSURE_AXES)
+            if steps is None:
+                return None
+            want_empty = expr.name in _EMPTY_NAMES
+            walker = _steps_walker(steps)
+            return (lambda ctx, pre:
+                    bool(walker(ctx, pre)) != want_empty), ()
+    steps = _relative_steps(expr, _CLOSURE_AXES)
+    if steps is not None:
+        # Bare path predicate: effective boolean value = non-empty.
+        walker = _steps_walker(steps)
+        return (lambda ctx, pre: bool(walker(ctx, pre))), ()
+    return None
+
+
+def _steps_walker(steps: tuple[tuple[str, str], ...]):
+    def walk(ctx: _ClosureCtx, pre: int) -> Sequence[int]:
+        pres: Sequence[int] = (pre,)
+        for axis, test in steps:
+            pres = ctx.sindex.axis_scan(axis, test, pres)
+            if not pres:
+                return ()
+        return pres
+    return walk
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation entry point
+# ---------------------------------------------------------------------------
+
+
+def compile_predicate(expr: Expr) -> IndexPlan | ClosurePlan | None:
+    """The compiled plan for one predicate, or None to keep the naive
+    per-context evaluation (positional or unrecognised predicates).
+
+    Plans are position-free by construction: applying them to the
+    union of all context nodes' candidates is equivalent to the
+    per-context definition, which is what lets the evaluator run
+    predicated steps set-at-a-time.
+    """
+    probes = _index_probes(expr)
+    if probes is not None:
+        return IndexPlan(tuple(probes))
+    compiled = _compile_boolean(expr)
+    if compiled is not None:
+        fn, var_names = compiled
+        return ClosurePlan(fn, tuple(dict.fromkeys(var_names)))
+    return None
+
+
+def _index_probes(expr: Expr) -> list[Probe] | None:
+    """The probe conjunction of an index-answerable predicate."""
+    if isinstance(expr, LogicalExpr) and expr.op == "and":
+        left = _index_probes(expr.left)
+        right = _index_probes(expr.right)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(expr, ComparisonExpr):
+        probe = _comparison_probe(expr)
+        return None if probe is None else [probe]
+    selector = _probe_selector(expr)
+    if selector is not None and selector[0] != "self":
+        axis, name = selector
+        return [Probe(axis=axis, name=name, op="exists")]
+    return None
+
+
+def _comparison_probe(expr: ComparisonExpr) -> Probe | None:
+    if expr.op not in VALUE_COMPARISONS:
+        return None
+    selector = _probe_selector(expr.left)
+    rhs, op = expr.right, expr.op
+    if selector is None:
+        selector = _probe_selector(expr.right)
+        rhs, op = expr.left, FLIPPED_OPS[expr.op]
+        if selector is None:
+            return None
+    axis, name = selector
+    if isinstance(rhs, Literal):
+        value = rhs.value
+        if isinstance(value, bool) or not isinstance(value,
+                                                     (str, int, float)):
+            return None
+        return Probe(axis=axis, name=name, op=op, literal=value)
+    if isinstance(rhs, VarRef):
+        return Probe(axis=axis, name=name, op=op, var=rhs.name)
+    return None
+
+
+def _probe_selector(expr: Expr) -> tuple[str, str] | None:
+    """``(axis, name)`` of a single-step probe selector: ``.`` or a
+    one-step named relative path over child/attribute/descendant."""
+    if isinstance(expr, ContextItemExpr):
+        return ("self", "")
+    steps = _relative_steps(expr, _PROBE_AXES)
+    if steps is None or len(steps) != 1:
+        return None
+    axis, test = steps[0]
+    if axis == "self" or not _is_name_test(test):
+        return None
+    return (axis, test)
+
+
+# ---------------------------------------------------------------------------
+# Hash-join support (FLWOR value equality)
+# ---------------------------------------------------------------------------
+
+
+class EqualityMatcher:
+    """O(1)-per-atom membership for one side of a general ``=``.
+
+    Built once from the loop-invariant side's atomized value; each
+    iteration's dependent atoms are then answered from hash sets
+    instead of re-scanning the invariant sequence. ``match_atoms``
+    returns None when an atom pair *could* diverge from
+    ``general_compare``'s raise-or-match scan order (typed strings
+    against numbers and vice versa) — the caller falls back to the
+    exact nested scan for that iteration.
+    """
+
+    __slots__ = ("strings", "nums_typed", "nums_untyped", "ebvs",
+                 "has_plain", "has_num", "all_untyped")
+
+    @classmethod
+    def build(cls, atoms: list) -> "EqualityMatcher | None":
+        """A matcher for the invariant side, or None when its atom mix
+        (booleans, exotic types) isn't worth special-casing."""
+        matcher = cls()
+        strings: set[str] = set()
+        nums_typed: set[float] = set()
+        nums_untyped: set[float] = set()
+        ebvs: set[bool] = set()
+        has_plain = False
+        all_untyped = True
+        for atom in atoms:
+            if isinstance(atom, bool):
+                return None
+            if isinstance(atom, UntypedAtomic):
+                strings.add(str(atom))
+                ebvs.add(len(atom) > 0)
+                number = coerce_number(atom)
+                if not isnan(number):
+                    nums_untyped.add(number)
+            elif isinstance(atom, str):
+                strings.add(atom)
+                has_plain = True
+                all_untyped = False
+            elif isinstance(atom, (int, float)):
+                number = float(atom)
+                if not isnan(number):
+                    nums_typed.add(number)
+                all_untyped = False
+            else:
+                return None
+        matcher.strings = strings
+        matcher.nums_typed = nums_typed
+        matcher.nums_untyped = nums_untyped
+        matcher.ebvs = ebvs
+        matcher.has_plain = has_plain
+        matcher.has_num = bool(nums_typed)
+        matcher.all_untyped = all_untyped
+        return matcher
+
+    def _match_atom(self, atom) -> bool | None:
+        if isinstance(atom, UntypedAtomic):
+            if str(atom) in self.strings:
+                return True
+            if self.has_num:
+                number = coerce_number(atom)
+                return not isnan(number) and number in self.nums_typed
+            return False
+        if isinstance(atom, bool):
+            # boolean-vs-(string|number) raises in the naive scan.
+            if not self.all_untyped:
+                return None
+            return atom in self.ebvs
+        if isinstance(atom, str):
+            if self.has_num:
+                return None           # typed string vs number raises
+            return atom in self.strings
+        if isinstance(atom, (int, float)):
+            if self.has_plain:
+                return None           # number vs typed string raises
+            number = float(atom)
+            if isnan(number):
+                return False
+            return number in self.nums_typed or number in self.nums_untyped
+        return None
+
+    def match_atoms(self, atoms: list) -> bool | None:
+        """Existential match over the dependent side's atoms; None when
+        any atom needs the exact nested scan (type-error parity)."""
+        for atom in atoms:
+            verdict = self._match_atom(atom)
+            if verdict is None:
+                return None
+            if verdict:
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Set-at-a-time FLWOR filters (probe + upward chain mapping)
+# ---------------------------------------------------------------------------
+
+
+_CHAIN_AXES = frozenset({"child", "attribute", "descendant"})
+
+
+def dependent_chain(expr: Expr, var: str
+                    ) -> tuple[tuple[tuple[str, str], ...], str] | None:
+    """``(steps, probe key)`` of a loop-dependent comparison side
+    ``$var/step/.../named-step``: a predicate-free chain of named
+    child/attribute/descendant steps; the last step's name is the
+    value-index column every reached node lives in."""
+    if not (isinstance(expr, PathExpr) and isinstance(expr.input, VarRef)
+            and expr.input.name == var and expr.steps):
+        return None
+    out: list[tuple[str, str]] = []
+    for step in expr.steps:
+        if step.predicates or step.axis not in _CHAIN_AXES \
+                or not _is_name_test(step.test):
+            return None
+        out.append((step.axis, step.test))
+    axis, test = out[-1]
+    key = "@" + test if axis == "attribute" else test
+    return tuple(out), key
+
+
+def probe_atoms(vindex, key: str, op: str,
+                atoms: list) -> list[int] | None:
+    """Union of value-index probes for every atom (the existential
+    general comparison); None when an atom's type can't be probed
+    with exact semantics (booleans, exotic types)."""
+    matched: set[int] = set()
+    single: list[int] | None = None
+    for atom in atoms:
+        if isinstance(atom, bool):
+            return None
+        if isinstance(atom, UntypedAtomic):
+            value: object = str(atom)
+        elif isinstance(atom, (str, int, float)):
+            value = atom
+        else:
+            return None
+        result = vindex.probe(key, op, value)
+        if result is None:
+            return None
+        if single is None and not matched:
+            single = result
+        else:
+            if single is not None:
+                matched.update(single)
+                single = None
+            matched.update(result)
+    if single is not None:
+        return single
+    return sorted(matched)
+
+
+def chain_candidates(doc: "Document",
+                     steps: tuple[tuple[str, str], ...],
+                     matched: Sequence[int]) -> set[int]:
+    """All pres X such that following ``steps`` from X reaches some
+    pre in ``matched`` — the inverse image of a probe result through
+    the dependent chain (upward parent/ancestor mapping with name and
+    kind checks at every intermediate step)."""
+    from repro.xmldb.node import NodeKind
+
+    current = set(matched)
+    parents = doc.parents
+    kinds = doc.kinds
+    names = doc.names
+    for index in range(len(steps) - 1, -1, -1):
+        axis = steps[index][0]
+        if axis == "descendant":
+            anchors = set()
+            for pre in current:
+                cursor = parents[pre]
+                while cursor >= 0:
+                    anchors.add(cursor)
+                    cursor = parents[cursor]
+        else:  # child / attribute: one hop up
+            anchors = {parents[pre] for pre in current if parents[pre] >= 0}
+        if index > 0:
+            prev_axis, prev_test = steps[index - 1]
+            # The node this level's step started from must itself be a
+            # result of the previous step: right kind, right name.
+            want_kind = (NodeKind.ATTRIBUTE if prev_axis == "attribute"
+                         else NodeKind.ELEMENT)
+            anchors = {pre for pre in anchors
+                       if kinds[pre] == want_kind
+                       and names[pre] == prev_test}
+        current = anchors
+        if not current:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Shared recognisers (planner selectivity, cluster shard skipping)
+# ---------------------------------------------------------------------------
+
+
+def conjunction_members(expr: Expr) -> list[Expr]:
+    """Flatten a chain of ``and`` into its conjuncts."""
+    if isinstance(expr, LogicalExpr) and expr.op == "and":
+        return (conjunction_members(expr.left)
+                + conjunction_members(expr.right))
+    return [expr]
+
+
+def literal_probe(expr: Expr, var: str | None = None,
+                  pure: bool = False) -> tuple[str, str, object] | None:
+    """``(key, op, literal)`` of a comparison between a relative path
+    and a literal — the *necessary condition* recognisers build on.
+
+    ``var`` anchors the path at ``$var`` instead of the context item.
+    Unlike :func:`_comparison_probe`, the path may have any number of
+    steps (with arbitrary axes): the probe keys on the *last* step's
+    name, which every result node must carry, so "no node with that
+    key satisfies the comparison" soundly implies "the comparison is
+    false everywhere". The key is ``@name`` when the last step walks
+    the attribute axis.
+
+    ``pure`` additionally requires every path step to be
+    predicate-free, making the whole conjunct provably *raise-free*
+    (node atoms are untyped and pair with any literal; predicate-free
+    steps over nodes cannot fail) — the guarantee shard skipping needs
+    to replace an evaluation with "nothing" without hiding an error
+    the evaluation would have raised.
+    """
+    if not isinstance(expr, ComparisonExpr) \
+            or expr.op not in VALUE_COMPARISONS:
+        return None
+    for path_side, other, op in ((expr.left, expr.right, expr.op),
+                                 (expr.right, expr.left,
+                                  FLIPPED_OPS[expr.op])):
+        if not isinstance(other, Literal):
+            continue
+        value = other.value
+        if isinstance(value, bool) or not isinstance(value,
+                                                     (str, int, float)):
+            continue
+        key = _anchored_path_key(path_side, var, pure)
+        if key is not None:
+            return (key, op, value)
+    return None
+
+
+def _anchored_path_key(expr: Expr, var: str | None,
+                       pure: bool) -> str | None:
+    if not isinstance(expr, PathExpr) or not expr.steps:
+        return None
+    if var is None:
+        if not isinstance(expr.input, ContextItemExpr):
+            return None
+    elif not (isinstance(expr.input, VarRef) and expr.input.name == var):
+        return None
+    if pure and any(step.predicates for step in expr.steps):
+        return None
+    last = expr.steps[-1]
+    if not _is_name_test(last.test):
+        return None
+    return "@" + last.test if last.axis == "attribute" else last.test
+
+
+# ---------------------------------------------------------------------------
+# Free variables (hash-join invariance analysis)
+# ---------------------------------------------------------------------------
+
+
+def free_variables(expr: Expr) -> frozenset[str]:
+    """The variables ``expr`` reads from its environment."""
+    if isinstance(expr, VarRef):
+        return frozenset((expr.name,))
+    if isinstance(expr, ForExpr):
+        bound = {expr.var}
+        if expr.pos_var is not None:
+            bound.add(expr.pos_var)
+        return (free_variables(expr.seq)
+                | (free_variables(expr.body) - bound))
+    if isinstance(expr, LetExpr):
+        return (free_variables(expr.value)
+                | (free_variables(expr.body) - {expr.var}))
+    if isinstance(expr, QuantifiedExpr):
+        return (free_variables(expr.seq)
+                | (free_variables(expr.cond) - {expr.var}))
+    if isinstance(expr, OrderByExpr):
+        inner = free_variables(expr.body)
+        for spec in expr.specs:
+            inner |= free_variables(spec.key)
+        return free_variables(expr.seq) | (inner - {expr.var})
+    if isinstance(expr, TypeswitchExpr):
+        out = free_variables(expr.operand)
+        for case in expr.cases:
+            bound = {case.var} if case.var else set()
+            out |= free_variables(case.body) - bound
+        default_bound = {expr.default_var} if expr.default_var else set()
+        out |= free_variables(expr.default_body) - default_bound
+        return out
+    if isinstance(expr, XRPCExpr):
+        out = free_variables(expr.dest)
+        param_names = set()
+        for param in expr.params:
+            out |= free_variables(param.value)
+            param_names.add(param.name)
+        return out | (free_variables(expr.body) - param_names)
+    out: frozenset[str] = frozenset()
+    for child in expr.child_exprs():
+        out |= free_variables(child)
+    return out
+
+
+__all__ = [
+    "ClosurePlan", "EqualityMatcher", "IndexPlan", "Probe",
+    "compile_predicate", "conjunction_members", "free_variables",
+    "literal_probe",
+]

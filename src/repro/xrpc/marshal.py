@@ -391,11 +391,11 @@ def unmarshal_calls(calls: list[Call], fragments: list[str],
                     base_uri: str) -> list[list[tuple[str, list]]]:
     """Reconstruct parameter sequences on the receiving peer."""
     space = _FragmentSpace(fragments, base_uri)
-    out = []
-    for call in calls:
-        out.append([(name, _unmarshal_sequence(items, space, base_uri))
-                    for name, items in call.params])
-    return out
+    return [
+        [(name, _unmarshal_sequence(items, space, base_uri))
+         for name, items in call.params]
+        for call in calls
+    ]
 
 
 def unmarshal_result(results: list[list[Item]], fragments: list[str],

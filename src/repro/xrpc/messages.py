@@ -97,24 +97,24 @@ class RequestMessage:
 
     def to_xml(self) -> str:
         out = [_ENVELOPE_OPEN, "<xrpc:request"]
-        for key in sorted(self.static_attrs):
-            out.append(f' {key.replace(":", "-")}='
-                       f'"{escape_attribute(self.static_attrs[key])}"')
+        out.extend(f' {key.replace(":", "-")}='
+                   f'"{escape_attribute(self.static_attrs[key])}"'
+                   for key in sorted(self.static_attrs))
         out.append(">")
         if self.used_paths is not None or self.returned_paths is not None:
             out.append("<xrpc:projection-paths>")
-            for path in self.used_paths or []:
-                out.append(f"<xrpc:used-path>{escape_text(path)}"
-                           f"</xrpc:used-path>")
-            for path in self.returned_paths or []:
-                out.append(f"<xrpc:returned-path>{escape_text(path)}"
-                           f"</xrpc:returned-path>")
+            out.extend(f"<xrpc:used-path>{escape_text(path)}"
+                       f"</xrpc:used-path>"
+                       for path in self.used_paths or [])
+            out.extend(f"<xrpc:returned-path>{escape_text(path)}"
+                       f"</xrpc:returned-path>"
+                       for path in self.returned_paths or [])
             out.append("</xrpc:projection-paths>")
         _fragments_to_xml(self.fragments, out)
         out.append(f"<xrpc:query>{escape_text(self.query)}</xrpc:query>")
         out.append("<xrpc:params>")
-        for name in self.param_names:
-            out.append(f"<xrpc:name>{escape_text(name)}</xrpc:name>")
+        out.extend(f"<xrpc:name>{escape_text(name)}</xrpc:name>"
+                   for name in self.param_names)
         out.append("</xrpc:params>")
         for call in self.calls:
             out.append("<xrpc:call>")
@@ -215,8 +215,8 @@ def _fragments_to_xml(fragments: list[str], out: list[str]) -> None:
         out.append("<xrpc:fragments/>")
         return
     out.append("<xrpc:fragments>")
-    for fragment in fragments:
-        out.append(f"<xrpc:fragment>{fragment}</xrpc:fragment>")
+    out.extend(f"<xrpc:fragment>{fragment}</xrpc:fragment>"
+               for fragment in fragments)
     out.append("</xrpc:fragments>")
 
 

@@ -201,3 +201,94 @@ def test_execute_at_literal_targets_collection(cluster):
     assert [str(item.string_value()) for item in result.items] \
         == [str(2000 + i) for i in range(10)]
     assert result.stats.scatter_shards == 4
+
+
+# ---------------------------------------------------------------------------
+# Value-index shard skipping
+# ---------------------------------------------------------------------------
+
+MEMBER_FILTER = """
+for $b in doc("xrpc://books-c/books.xml")/child::library
+          /child::books/child::book
+return if ($b/child::year = 2003) then $b/child::title else ()
+"""
+
+MEMBER_FILTER_OWNER = MEMBER_FILTER.replace("xrpc://books-c/books.xml",
+                                            "xrpc://owner/books.xml")
+
+RANGE_FILTER = MEMBER_FILTER.replace("child::year = 2003",
+                                     "child::pages < 120")
+
+
+def test_shard_skip_probes_recognise_member_filter():
+    from repro.cluster.router import shard_skip_probes
+
+    body = parse_query(MEMBER_FILTER).body
+    probes = shard_skip_probes(body, "books-c")
+    assert probes == [("year", "=", 2003)]
+    # Unrelated collections are never skipped.
+    assert shard_skip_probes(body, "other-c") == []
+
+
+def test_equality_filter_skips_provably_empty_shards(cluster,
+                                                     single_owner):
+    expected = single_owner.run(MEMBER_FILTER_OWNER, at="local",
+                                strategy=Strategy.BY_FRAGMENT)
+    result = cluster.run(MEMBER_FILTER, at="local",
+                         strategy=Strategy.BY_FRAGMENT)
+    assert serialize_sequence(result.items) \
+        == serialize_sequence(expected.items)
+    # Range partitioning puts year 2003 in exactly one shard; the
+    # other three are proven empty by their value indexes.
+    assert result.stats.shards_skipped == 3
+    assert len(result.messages) == 1
+
+
+def test_range_filter_skips_shards(cluster, single_owner):
+    expected = single_owner.run(
+        RANGE_FILTER.replace("xrpc://books-c/books.xml",
+                             "xrpc://owner/books.xml"),
+        at="local", strategy=Strategy.BY_PROJECTION)
+    result = cluster.run(RANGE_FILTER, at="local",
+                         strategy=Strategy.BY_PROJECTION)
+    assert serialize_sequence(result.items) \
+        == serialize_sequence(expected.items)
+    # pages 100..190 ascending across range shards: only shard 0 has
+    # pages < 120.
+    assert result.stats.shards_skipped == 3
+
+
+def test_unfiltered_scan_skips_nothing(cluster):
+    result = cluster.run(SCAN, at="local", strategy=Strategy.BY_FRAGMENT)
+    assert result.stats.shards_skipped == 0
+    assert result.stats.scatter_shards == 4
+
+
+def test_skip_probe_consults_only_live_replicas(cluster):
+    cluster.transport.kill_peer("node1")
+    result = cluster.run(MEMBER_FILTER, at="local",
+                         strategy=Strategy.BY_FRAGMENT)
+    assert result.stats.shards_skipped == 3
+    assert len(result.items) == 1
+
+
+def test_skip_never_hides_dynamic_errors(cluster, single_owner):
+    """A condition path carrying a step predicate could raise during
+    evaluation; skipping the shard would swallow that error, so such
+    conjuncts must not produce skip probes (error parity with the
+    single-owner evaluation)."""
+    from repro.errors import XQueryTypeError
+    from repro.cluster.router import shard_skip_probes
+
+    raising = """
+    for $b in doc("xrpc://books-c/books.xml")/child::library
+              /child::books/child::book
+    return if ($b/child::year[fn:true() = 1] = 9999) then $b else ()
+    """
+    assert shard_skip_probes(parse_query(raising).body, "books-c") == []
+    with pytest.raises(XQueryTypeError):
+        single_owner.run(raising.replace("xrpc://books-c",
+                                        "xrpc://owner"),
+                         at="local", strategy=Strategy.DATA_SHIPPING)
+    with pytest.raises(XQueryTypeError):
+        cluster.run(raising, at="local", strategy=Strategy.BY_FRAGMENT)

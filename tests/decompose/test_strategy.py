@@ -11,11 +11,8 @@ from tests.conftest import Q2
 
 
 def xrpc_calls(module):
-    out = []
-    for expr in walk(module.body):
-        if isinstance(expr, XRPCExpr):
-            out.append(expr)
-    return out
+    return [expr for expr in walk(module.body)
+            if isinstance(expr, XRPCExpr)]
 
 
 def hosts(module):

@@ -100,3 +100,126 @@ class TestStatsCatalog:
         stats = federation.planner.stats
         stats.attach(federation)
         assert stats.document_stats("A", "people.xml") is not None
+
+
+class TestValueHistograms:
+    def _stats(self):
+        document = parse_document(DOC, uri="t.xml")
+        return compute_document_stats(document, "t.xml",
+                                      with_values=True)
+
+    def test_disabled_by_default(self):
+        document = parse_document(DOC, uri="t.xml")
+        assert compute_document_stats(document, "t.xml").values is None
+
+    def test_histogram_fields(self):
+        stats = self._stats()
+        ages = stats.value_histogram("age")
+        assert ages.count == 1 and ages.numeric_count == 1
+        assert ages.numeric_min == ages.numeric_max == 30.0
+        names = stats.value_histogram("name")
+        assert names.count == 2 and names.distinct == 2
+        assert names.numeric_count == 0
+        assert stats.value_histogram("@id").count == 1
+        # Container elements carry no value histogram.
+        assert stats.value_histogram("people") is None
+
+    def test_selectivity_equality_and_range(self):
+        from repro.planner.stats import ValueHistogram
+
+        hist = ValueHistogram(count=100, distinct=50, numeric_count=100,
+                              numeric_min=0.0, numeric_max=100.0,
+                              buckets=(25, 25, 0, 0, 25, 0, 0, 25))
+        assert abs(hist.selectivity("=", "x") - 0.02) < 1e-9
+        assert 0.35 < hist.selectivity("<", 50) < 0.65
+        low = hist.selectivity("<", 10)
+        high = hist.selectivity("<", 90)
+        assert low < high
+        assert abs(hist.selectivity(">", 50)
+                   + hist.selectivity("<=", 50) - 1.0) < 0.01
+        # String range comparisons have no ordering statistics.
+        assert hist.selectivity("<", "x") is None
+
+    def test_histogram_merge(self):
+        from repro.planner.stats import ValueHistogram
+
+        a = ValueHistogram(count=10, distinct=10, numeric_count=10,
+                           numeric_min=0.0, numeric_max=9.0,
+                           buckets=(2, 1, 1, 1, 1, 1, 1, 2))
+        b = ValueHistogram(count=10, distinct=10, numeric_count=10,
+                           numeric_min=10.0, numeric_max=19.0,
+                           buckets=(2, 1, 1, 1, 1, 1, 1, 2))
+        merged = a.merged(b)
+        assert merged.count == 20 and merged.numeric_count == 20
+        assert merged.numeric_min == 0.0 and merged.numeric_max == 19.0
+        assert sum(merged.buckets) == 20
+        # Roughly half the mass below the midpoint.
+        assert 0.3 < merged.selectivity("<", 9.5) < 0.7
+
+    def test_catalog_upgrade_bumps_values_version(self):
+        federation = make_federation()
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        plain = catalog.document_stats("A", "people.xml")
+        assert plain.values is None
+        version = catalog.values_version()
+        upgraded = catalog.document_stats("A", "people.xml",
+                                          with_values=True)
+        assert upgraded.values is not None
+        assert catalog.values_version() == version + 1
+        # Cached with values now; a value-less request reuses it.
+        assert catalog.document_stats("A", "people.xml") is upgraded
+        assert catalog.values_version() == version + 1
+
+    def test_sharded_collection_merges_value_histograms(self):
+        federation = build_sharded_federation(0.004, shard_count=2)
+        catalog = StatsCatalog()
+        catalog.attach(federation)
+        stats = catalog.document_stats("people-c", "people.xml",
+                                       with_values=True)
+        ages = stats.value_histogram("age")
+        assert ages is not None
+        assert ages.count == stats.tag("age").count
+        assert 18.0 <= ages.numeric_min < ages.numeric_max <= 70.0
+
+
+class TestMeasuredSelectivity:
+    def test_age_filter_prices_with_measured_selectivity(self):
+        """The benchmark condition (age < 40 over ages uniform in
+        [18, 70]) must price near the measured ~0.42, not the 0.5
+        default — visible as the if-condition selectivity applied to
+        the estimated response volume."""
+        from repro.workloads import BENCHMARK_QUERY, build_federation
+
+        federation = build_federation(0.01)
+        planned = federation.planner.plan(BENCHMARK_QUERY, at="local",
+                                          strategy="auto")
+        catalog = federation.planner.stats
+        stats = catalog.document_stats("peer1", "people.xml",
+                                       with_values=True)
+        ages = stats.value_histogram("age")
+        measured = ages.selectivity("<", 40)
+        assert 0.30 < measured < 0.55
+        assert planned.plan.estimated_s > 0.0
+
+    def test_plan_replanned_after_histograms_appear(self):
+        """A plan priced before value histograms existed must not be
+        served from the cache once they exist (values_version is part
+        of the cache key)."""
+        federation = make_federation()
+        planner = federation.planner
+        # No value comparisons: priced without histograms.
+        no_values = 'doc("xrpc://A/people.xml")/child::people'
+        planner.plan(no_values, at="local", strategy="auto")
+        assert planner.stats.values_version() == 0
+        # A predicate query builds histograms for the same document.
+        with_values = ('doc("xrpc://A/people.xml")'
+                       "//person[name = 'Ann']")
+        planner.plan(with_values, at="local", strategy="auto")
+        assert planner.stats.values_version() >= 1
+        # The value-less plan was keyed at version 0: replanned now.
+        replay = planner.plan(no_values, at="local", strategy="auto")
+        assert replay.from_cache is False
+        # And the re-plan is cached under the current version.
+        again = planner.plan(no_values, at="local", strategy="auto")
+        assert again.from_cache is True

@@ -99,8 +99,9 @@ def test_by_fragment_never_ships_a_node_twice(pair):
     # The union of shipped subtrees (maximal roots) bounds the payload.
     maximal: list = []
     for node in sorted(picks, key=lambda n: n.pre):
-        if not any(m.is_ancestor_of(node) or m == node for m in maximal):
-            maximal.append(node)
+        if any(m.is_ancestor_of(node) or m == node for m in maximal):
+            continue
+        maximal.append(node)
     union_size = sum(m.size + 1 for m in maximal)
     # A forest container may add one wrapper node per fragment.
     assert total_fragment_nodes <= union_size + len(bundle.fragments)
