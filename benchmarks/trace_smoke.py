@@ -1,0 +1,79 @@
+"""CI trace smoke: run one traced query, validate the Chrome export.
+
+Captures a span tree from a sharded federated query, checks the
+trace-event schema invariants (``ts``/``dur`` present, numeric and
+non-negative; every event carries ``name``/``ph``/``pid``/``tid``),
+checks the attribution invariant (component leaves sum to the run's
+``RunStats.times``), and writes both exports into the output directory
+so CI uploads them as artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py [out_dir]
+
+Exit code 0 = clean, 1 = invariant or schema violation. ``out_dir``
+defaults to ``$BENCH_OUT_DIR`` or ``bench-results``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro.decompose import Strategy
+from repro.obs.export import dump_chrome_trace, dump_trace, render_tree
+from repro.obs.export import validate_chrome_trace
+from repro.obs.trace import COMPONENTS
+from repro.workloads import SHARDED_BENCHMARK_QUERY, build_sharded_federation
+
+SCALE = float(os.environ.get("REPRO_TRACE_SMOKE_SCALE", "0.002"))
+TOLERANCE = 1e-9
+
+
+def main(out_dir: str | None = None) -> int:
+    out = Path(out_dir or os.environ.get("BENCH_OUT_DIR", "bench-results"))
+    out.mkdir(parents=True, exist_ok=True)
+
+    federation = build_sharded_federation(SCALE)
+    result = federation.run(SHARDED_BENCHMARK_QUERY, at="local",
+                            strategy=Strategy.BY_PROJECTION, trace=True)
+    root = result.trace
+    problems: list[str] = []
+    if root is None:
+        problems.append("trace=True produced no span tree")
+        print("FAIL: " + problems[0])
+        return 1
+
+    print(render_tree(root, max_depth=3))
+
+    # Attribution invariant: leaves reproduce the Figure 8 breakdown.
+    totals = root.component_totals()
+    for component in COMPONENTS:
+        leaves = totals.get(component, 0.0)
+        recorded = getattr(result.stats.times, component)
+        if abs(leaves - recorded) >= TOLERANCE:
+            problems.append(
+                f"component {component}: leaves {leaves} != "
+                f"stats {recorded}")
+    for span in root.iter_spans():
+        if not span.closed:
+            problems.append(f"span {span.name!r} never closed")
+
+    dump_trace(root, out / "TRACE_smoke.json")
+    chrome = dump_chrome_trace(root, out / "TRACE_smoke_chrome.json")
+    problems.extend(validate_chrome_trace(chrome))
+
+    events = chrome["traceEvents"]
+    print(f"\n{len(events)} trace events -> {out / 'TRACE_smoke_chrome.json'}")
+    if problems:
+        print("FAIL:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("trace smoke: schema and attribution invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -44,7 +44,8 @@ def act_one_per_query_picks() -> None:
                         (TINY_LOOKUP_QUERY, "tiny reference lookup")):
         result = federation.run(query, at="local", strategy="auto")
         show(result, name)
-        print("    " + result.stats.plan.explain.replace("\n", "\n    "))
+        print("    "
+              + result.stats.plan.explain().replace("\n", "\n    "))
 
 
 def act_two_mixed_plan() -> None:

@@ -24,6 +24,8 @@ from repro.decompose import AUTO, Strategy, decompose
 from repro.net.costmodel import CostModel
 from repro.net.estimate import CostVector
 from repro.net.stats import PlanReport, RunStats, TimeBreakdown
+from repro.obs import (MetricsRegistry, Span, Tracer, dump_chrome_trace,
+                       dump_trace, render_tree)
 from repro.planner import (CalibrationBook, PhysicalPlan, QueryPlanner,
                            StatsCatalog)
 from repro.runtime import (FederationEngine, LoopbackTransport, ResultCache,
@@ -40,6 +42,8 @@ __all__ = [
     "ClusterCatalog", "CollectionSpec", "create_sharded_collection",
     "AUTO", "Strategy", "decompose",
     "CostModel", "CostVector", "PlanReport", "RunStats", "TimeBreakdown",
+    "MetricsRegistry", "Span", "Tracer",
+    "dump_trace", "dump_chrome_trace", "render_tree",
     "CalibrationBook", "PhysicalPlan", "QueryPlanner", "StatsCatalog",
     "FederationEngine", "ResultCache",
     "LoopbackTransport", "SimulatedTransport",

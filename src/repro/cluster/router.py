@@ -58,6 +58,8 @@ from repro.cluster.catalog import (
 from repro.cluster.gather import gather_plan, merge_shard_documents
 from repro.errors import NetworkError
 from repro.net.stats import RunStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, bind_stats_span, child_span
 from repro.xmldb.document import Document, fresh_doc_seq
 from repro.xmldb.node import Node
 from repro.xmldb.parser import parse_document
@@ -243,6 +245,21 @@ class ClusterRouter:
         self.run = run
         self.catalog = catalog
         self.transport = run.transport
+        # A bare stub run (tests probing replica_order alone) has no
+        # federation; fall back to a private registry.
+        federation = getattr(run, "federation", None)
+        metrics = (federation.metrics if federation is not None
+                   else MetricsRegistry())
+        self._scatter_calls = metrics.counter(
+            "scatter_calls_total", "scatter fan-outs per collection",
+            ("collection",))
+        self._scatter_skips = metrics.counter(
+            "scatter_shards_skipped_total",
+            "shard round trips proven empty by value-index probes",
+            ("collection",))
+        self._scatter_failovers = metrics.counter(
+            "scatter_failovers_total",
+            "replica switches after wire faults", ("collection",))
 
     # -- replica selection --------------------------------------------------
 
@@ -280,9 +297,11 @@ class ClusterRouter:
         """
         epoch = self.catalog.epoch()
         # The physical plan keys this call site's message semantics by
-        # the original body object; resolve it before the rewrite below
-        # replaces that object with shard-local variants.
+        # the original body object; resolve it (and the explain-analyze
+        # alias to the logical site) before the rewrite below replaces
+        # that object with shard-local variants.
         semantics = self.run.semantics_for(id(body))
+        logical_site = self.run.site_alias.get(id(body), id(body))
         body = unwrap_collection_xrpc(body, spec.name)
         combine = gather_plan(body, spec.name)
         if combine is None:
@@ -290,7 +309,7 @@ class ClusterRouter:
                                           stats=stats, counter=counter)
 
         # Shard bodies are built (and their projection specs plus
-        # semantics aliases registered) up front on the caller's
+        # semantics/site aliases registered) up front on the caller's
         # thread: the dicts and the AST are then only read by the
         # scatter workers.
         proj_spec = self.run.projection_specs.get(id(body))
@@ -301,6 +320,7 @@ class ClusterRouter:
             if proj_spec is not None:
                 self.run.projection_specs[id(shard_body)] = proj_spec
             self.run.site_semantics[id(shard_body)] = semantics
+            self.run.site_alias[id(shard_body)] = logical_site
             shard_bodies.append(shard_body)
 
         probes = shard_skip_probes(body, spec.name)
@@ -308,49 +328,89 @@ class ClusterRouter:
                 for shard in spec.shards] if probes else [False] * len(
                     spec.shards)
 
-        def call_shard(index: int) -> ScatterOutcome:
-            shard = spec.shards[index]
-            outcome = ScatterOutcome()
-            if skip[index]:
-                # The shard-local value index proved the member filter
-                # selects nothing here: the shard's contribution is
-                # exactly one empty sequence per call, with no round
-                # trip at all.
-                outcome.results = [[] for _ in calls]
-                outcome.stats.shards_skipped = 1
+        with child_span("scatter", collection=spec.name,
+                        shards=len(spec.shards)) as scatter_span:
+            def call_shard(index: int) -> ScatterOutcome:
+                shard = spec.shards[index]
+                outcome = ScatterOutcome()
+                shard_key = f"{spec.name}#s{shard.index}"
+                if skip[index]:
+                    # The shard-local value index proved the member
+                    # filter selects nothing here: the shard's
+                    # contribution is exactly one empty sequence per
+                    # call, with no round trip at all.
+                    outcome.results = [[] for _ in calls]
+                    outcome.stats.shards_skipped = 1
+                    outcome.stats.per_shard[shard_key] = {
+                        "bytes": 0, "messages": 0, "sim_s": 0.0,
+                        "cache_hits": 0, "failovers": 0, "skipped": True}
+                    return outcome
+                # Scatter workers are fresh threads with no ambient
+                # span; the explicit parent hands them the tree.
+                with child_span("shard", parent=scatter_span,
+                                shard=shard.index, collection=spec.name):
+                    outcome.results = self._with_failover(
+                        shard, outcome,
+                        lambda replica: self.run._round_trip(
+                            from_peer, replica, calls,
+                            shard_bodies[index],
+                            cache_scope=shard_key, shard_epoch=epoch,
+                            stats=outcome.stats,
+                            remote_counter=outcome.counter))
+                outcome.stats.per_shard[shard_key] = {
+                    "bytes": outcome.stats.total_transferred_bytes,
+                    "messages": outcome.stats.messages,
+                    "sim_s": outcome.stats.times.total,
+                    "cache_hits": outcome.stats.cache_hits,
+                    "failovers": outcome.failovers,
+                    "skipped": False,
+                }
                 return outcome
-            scope = f"{spec.name}#s{shard.index}"
-            outcome.results = self._with_failover(
-                shard, outcome,
-                lambda replica: self.run._round_trip(
-                    from_peer, replica, calls, shard_bodies[index],
-                    cache_scope=scope, shard_epoch=epoch,
-                    stats=outcome.stats, remote_counter=outcome.counter))
-            return outcome
 
-        try:
-            outcomes = self._fan_out(len(spec.shards), call_shard)
-        finally:
-            # The shard ASTs are per-scatter temporaries; their id()
-            # keys must not outlive them (a later allocation could
-            # reuse the address and falsely inherit the spec).
-            for shard_body in shard_bodies:
-                if proj_spec is not None:
-                    self.run.projection_specs.pop(id(shard_body), None)
-                self.run.site_semantics.pop(id(shard_body), None)
-        self._merge_outcomes(outcomes, shards=len(spec.shards),
-                             stats=stats, counter=counter)
-        _renumber_shard_fragments(outcomes)
-        return combine([outcome.results for outcome in outcomes])
+            try:
+                outcomes = self._fan_out(len(spec.shards), call_shard)
+            finally:
+                # The shard ASTs are per-scatter temporaries; their
+                # id() keys must not outlive them (a later allocation
+                # could reuse the address and falsely inherit the
+                # spec).
+                for shard_body in shard_bodies:
+                    if proj_spec is not None:
+                        self.run.projection_specs.pop(id(shard_body),
+                                                      None)
+                    self.run.site_semantics.pop(id(shard_body), None)
+                    self.run.site_alias.pop(id(shard_body), None)
+            self._merge_outcomes(outcomes, shards=len(spec.shards),
+                                 stats=stats, counter=counter)
+            skipped = sum(o.stats.shards_skipped for o in outcomes)
+            failovers = sum(o.failovers for o in outcomes)
+            self._scatter_calls.labels(spec.name).inc()
+            if skipped:
+                self._scatter_skips.labels(spec.name).inc(skipped)
+            if failovers:
+                self._scatter_failovers.labels(spec.name).inc(failovers)
+            if scatter_span is not None:
+                per_shard: dict[str, dict] = {}
+                for outcome in outcomes:
+                    per_shard.update(outcome.stats.per_shard)
+                scatter_span.set(shards_skipped=skipped,
+                                 failovers=failovers,
+                                 per_shard=per_shard)
+            _renumber_shard_fragments(outcomes)
+            return combine([outcome.results for outcome in outcomes])
 
     # -- cluster document fetch (data shipping) -----------------------------
 
     def fetch_collection_document(self, spec: CollectionSpec,
                                   local_name: str, requester: str,
-                                  stats: RunStats | None = None
+                                  stats: RunStats | None = None,
+                                  parent_span: "Span | None" = None
                                   ) -> tuple[Document, int]:
         """Ship every shard from a live replica and reassemble the
-        logical document. Returns ``(document, total wire bytes)``."""
+        logical document. Returns ``(document, total wire bytes)``.
+        ``parent_span`` is the caller's ``ship`` span; shard fetches
+        become its children (fetches run on pool threads with no
+        ambient span, so the handoff is explicit)."""
         if local_name != spec.document:
             raise ClusterError(
                 f"collection {spec.name!r} has no document "
@@ -359,6 +419,7 @@ class ClusterRouter:
         def fetch_shard(index: int) -> ScatterOutcome:
             shard = spec.shards[index]
             outcome = ScatterOutcome()
+            shard_key = f"{spec.name}#s{shard.index}"
 
             def attempt(replica: str) -> list:
                 peer = self.run.federation.peer(replica)
@@ -366,12 +427,28 @@ class ClusterRouter:
                     peer, shard.local_name, outcome.stats)
                 return [text]
 
-            outcome.results = self._with_failover(shard, outcome, attempt)
+            with child_span("shard", parent=parent_span,
+                            shard=shard.index,
+                            collection=spec.name) as shard_span, \
+                    bind_stats_span(outcome.stats, shard_span):
+                outcome.results = self._with_failover(shard, outcome,
+                                                      attempt)
+            outcome.stats.per_shard[shard_key] = {
+                "bytes": outcome.stats.total_transferred_bytes,
+                "messages": outcome.stats.messages,
+                "sim_s": outcome.stats.times.total,
+                "cache_hits": outcome.stats.cache_hits,
+                "failovers": outcome.failovers,
+                "skipped": False,
+            }
             return outcome
 
         outcomes = self._fan_out(len(spec.shards), fetch_shard)
         self._merge_outcomes(outcomes, shards=len(spec.shards),
                              stats=stats)
+        failovers = sum(o.failovers for o in outcomes)
+        if failovers:
+            self._scatter_failovers.labels(spec.name).inc(failovers)
         texts = [outcome.results[0] for outcome in outcomes]
         shard_docs = [
             parse_document(text,

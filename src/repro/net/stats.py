@@ -5,11 +5,21 @@ during one federated query execution. ``total_transferred_bytes`` is
 Figure 7's y-axis ("total size of XML documents plus total size of XML
 messages transferred among peers"); :class:`TimeBreakdown` is the
 five-component stack of Figure 8.
+
+Observability hooks: a run traced via ``Federation.run(trace=True)``
+binds the active :class:`~repro.obs.trace.Span` to ``RunStats.span``,
+and every site that charges simulated time into :attr:`times` charges
+the same amount into that span — so the trace's component leaves sum
+to these totals by construction. ``per_shard`` keeps the cluster
+router's private per-shard accounting (bytes, messages, skips,
+failovers) that a plain :meth:`merge` would otherwise flatten away.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+from repro.obs.explain import PlanAnalysis, render_analysis
 
 
 @dataclass
@@ -36,6 +46,17 @@ class TimeBreakdown:
             "network": self.network,
         }
 
+    def components(self) -> dict[str, float]:
+        """The same numbers keyed by the span-component names used by
+        :mod:`repro.obs.trace` (``Span.component_totals()`` parity)."""
+        return {
+            "shred": self.shred,
+            "local_exec": self.local_exec,
+            "serialize": self.serialize,
+            "remote_exec": self.remote_exec,
+            "network": self.network,
+        }
+
 
 @dataclass(frozen=True)
 class PlanReport:
@@ -45,6 +66,9 @@ class PlanReport:
     Attached to :class:`RunStats` for *every* run — fixed strategies
     get the trivial single-candidate report — so estimated-vs-actual
     tables (``BENCH_planner.json``) need nothing but the stats object.
+    After execution the federation attaches a per-operator
+    :class:`~repro.obs.explain.PlanAnalysis`; :meth:`explain` with
+    ``analyze=True`` renders it.
     """
 
     strategy: str                 # chosen plan label, e.g. "by-projection"
@@ -54,16 +78,47 @@ class PlanReport:
     #: Every candidate the planner priced: ``(label, estimated_s)``,
     #: cheapest first. Fixed-strategy runs carry just their own entry.
     candidates: tuple[tuple[str, float], ...] = ()
-    explain: str = ""             # operator-level plan rendering
+    explain_text: str = ""        # operator-level plan rendering
+    #: Per-operator estimated-vs-actual rows, attached after the run.
+    analysis: PlanAnalysis | None = None
+
+    def explain(self, analyze: bool = False) -> str:
+        """The operator-level plan rendering; with ``analyze=True``,
+        each operator's *actual* bytes/seconds/cardinality next to the
+        estimator's prediction (falls back to the estimate-only text
+        when no actuals were recorded)."""
+        if analyze and self.analysis is not None:
+            return render_analysis(self.analysis)
+        if analyze:
+            return self.explain_text + "\n  (no actuals recorded)"
+        return self.explain_text
 
     def as_dict(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "strategy": self.strategy,
             "estimated_s": self.estimated_s,
             "estimated_bytes": self.estimated_bytes,
             "from_cache": self.from_cache,
             "candidates": [list(entry) for entry in self.candidates],
         }
+        if self.analysis is not None:
+            out["analysis"] = self.analysis.as_dict()
+        return out
+
+
+def merge_shard_breakdown(target: dict[str, dict], key: str,
+                          entry: dict) -> None:
+    """Fold one shard's sub-breakdown into ``target[key]`` (numeric
+    fields add; booleans OR)."""
+    existing = target.get(key)
+    if existing is None:
+        target[key] = dict(entry)
+        return
+    for name, value in entry.items():
+        if isinstance(value, bool):
+            existing[name] = existing.get(name, False) or value
+        else:
+            existing[name] = existing.get(name, 0) + value
 
 
 @dataclass
@@ -86,6 +141,13 @@ class RunStats:
     #: for every execution; ``merge`` keeps the receiver's — shard
     #: calls report under the run that scattered them).
     plan: PlanReport | None = None
+    #: Per-shard sub-breakdown (``"collection#sN"`` → bytes/messages/
+    #: skips/failovers/sim seconds), kept through :meth:`merge` so the
+    #: router's private shard accounting stays attributable.
+    per_shard: dict[str, dict] = field(default_factory=dict)
+    #: The trace span charges against these stats attribute to (bound
+    #: by the run layer while tracing; never merged, never exported).
+    span: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_transferred_bytes(self) -> int:
@@ -100,11 +162,19 @@ class RunStats:
         self.message_bytes += size
         self.messages += 1
 
+    def charge_span(self, component: str, seconds: float,
+                    nbytes: int = 0) -> None:
+        """Mirror a simulated-time charge onto the bound trace span
+        (no-op — one attribute check — when tracing is off)."""
+        if self.span is not None:
+            self.span.charge(component, seconds, nbytes)
+
     def merge(self, other: "RunStats") -> None:
         """Fold another accounting into this one (the cluster router
         gives each scattered shard call a private RunStats and merges
         them in shard order, keeping totals deterministic under
-        concurrency)."""
+        concurrency). The receiver keeps its own ``plan`` and ``span``;
+        ``per_shard`` sub-breakdowns accumulate by shard identity."""
         self.document_bytes += other.document_bytes
         self.message_bytes += other.message_bytes
         self.messages += other.messages
@@ -120,9 +190,11 @@ class RunStats:
         self.times.serialize += other.times.serialize
         self.times.remote_exec += other.times.remote_exec
         self.times.network += other.times.network
+        for key, entry in other.per_shard.items():
+            merge_shard_breakdown(self.per_shard, key, entry)
 
     def summary(self) -> dict[str, object]:
-        return {
+        out: dict[str, object] = {
             "total_transferred_bytes": self.total_transferred_bytes,
             "document_bytes": self.document_bytes,
             "message_bytes": self.message_bytes,
@@ -138,3 +210,8 @@ class RunStats:
             "times": self.times.as_dict(),
             "plan": self.plan.as_dict() if self.plan is not None else None,
         }
+        if self.per_shard:
+            out["per_shard"] = {key: dict(entry)
+                                for key, entry in
+                                sorted(self.per_shard.items())}
+        return out

@@ -1,0 +1,64 @@
+"""Unified observability: tracing, metrics, and explain-analyze.
+
+The paper's entire evaluation (Figures 7-11) is an observability
+exercise; this package is where each of those measurements now lives,
+per query instead of per benchmark run:
+
+==========  ==============================================================
+Figure 7    total transferred bytes — ``RunStats.total_transferred_bytes``;
+            per peer: the ``wire_message_bytes_total`` /
+            ``wire_document_bytes_total`` counters; per operator: the
+            ``bytes`` attribute on ``rpc`` / ``ship`` spans and the
+            ``actual_bytes`` column of ``plan.explain(analyze=True)``.
+Figure 8    the five-component time breakdown — ``RunStats.times``;
+            per span: the ``shred`` / ``local_exec`` / ``serialize`` /
+            ``remote_exec`` / ``network`` *component leaf spans*, whose
+            ``sim_s`` sum reproduces the run totals exactly
+            (``Span.component_totals()``).
+Figure 9    execution time per strategy — the ``query`` root span's
+            wall duration, the ``query_latency_seconds`` histogram,
+            and the estimated-vs-actual totals in the analyzed plan.
+Figure 10   projection precision — the ``used_paths`` / ``returned``
+            attributes on by-projection ``rpc`` spans (request sizes
+            carry the pruned fragment bytes).
+Figure 11   projection/serialisation overhead — the ``serialize``
+            component leaves under each ``rpc`` / ``ship`` span, plus
+            the ``index_build_seconds_total`` counters for the
+            structural/value index work that replaced re-shredding.
+==========  ==============================================================
+
+Modules:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-query
+  span trees with contextvar nesting and simulated-time charge leaves;
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with
+  :class:`Counter` / :class:`Gauge` / :class:`Histogram` labeled
+  series (and the canonical :func:`percentile`);
+* :mod:`repro.obs.export` — JSON and Chrome trace-event exporters
+  (:func:`dump_trace`, :func:`dump_chrome_trace`) plus the schema
+  validator CI runs over captured traces;
+* :mod:`repro.obs.explain` — per-operator estimated-vs-actual
+  accounting behind ``RunStats.plan.explain(analyze=True)``.
+"""
+
+from repro.obs.explain import (ActualsBook, OpActual, OpAnalysis,
+                               PlanAnalysis, render_analysis)
+from repro.obs.export import (chrome_trace_events, dump_chrome_trace,
+                              dump_trace, render_tree, span_to_dict,
+                              validate_chrome_trace)
+from repro.obs.metrics import (GLOBAL_REGISTRY, Counter, Gauge, Histogram,
+                               MetricsRegistry, global_registry, percentile)
+from repro.obs.trace import (COMPONENTS, NOOP_TRACER, NoopTracer, Span,
+                             Tracer, bind_stats_span, child_span,
+                             current_span)
+
+__all__ = [
+    "ActualsBook", "OpActual", "OpAnalysis", "PlanAnalysis",
+    "render_analysis",
+    "chrome_trace_events", "dump_chrome_trace", "dump_trace",
+    "render_tree", "span_to_dict", "validate_chrome_trace",
+    "GLOBAL_REGISTRY", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "global_registry", "percentile",
+    "COMPONENTS", "NOOP_TRACER", "NoopTracer", "Span", "Tracer",
+    "bind_stats_span", "child_span", "current_span",
+]

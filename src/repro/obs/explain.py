@@ -1,0 +1,209 @@
+"""Explain-analyze: estimated-vs-actual accounting per plan operator.
+
+The planner's :class:`~repro.planner.ir.PhysicalPlan` carries one
+predicted :class:`~repro.net.estimate.CostVector` per operator; until
+now the only feedback was run-level (``BENCH_planner.json`` tables and
+the :class:`~repro.planner.feedback.CalibrationBook`'s aggregate
+factors). This module closes the loop per query: the run layer records
+what each operator *actually* did — wire bytes, calls, simulated
+seconds, wall seconds — into an :class:`ActualsBook`, and
+``RunStats.plan.explain(analyze=True)`` renders the estimated-vs-actual
+tree, so a :class:`CalibrationBook` misprediction is inspectable on
+the very query that suffered it.
+
+Attribution keys match the plan IR's own handles:
+
+* XRPC call sites key by ``site_id`` (``id(xrpc.body)``); the cluster
+  router aliases its per-shard rewritten bodies back to the logical
+  site, so a ScatterGather operator's actuals are the sum over shards;
+* document ships key by ``(owner, local_name)``;
+* local evaluation is the run-level remainder (exec seconds computed
+  from the cost counters at the end of the run).
+
+Simulated seconds per call site are *inclusive* (nested shipping or
+recursive round trips triggered by the remote body count toward the
+site that triggered them), mirroring how the estimator prices sites.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class OpActual:
+    """What one plan operator actually did during a run."""
+
+    bytes: int = 0           # wire bytes (messages or shipped documents)
+    calls: int = 0           # function applications / ship count
+    sim_s: float = 0.0       # simulated seconds (inclusive)
+    wall_s: float = 0.0      # wall-clock seconds (inclusive)
+    cache_hits: int = 0      # round trips / ships served by the cache
+
+    def merge(self, other: "OpActual") -> None:
+        self.bytes += other.bytes
+        self.calls += other.calls
+        self.sim_s += other.sim_s
+        self.wall_s += other.wall_s
+        self.cache_hits += other.cache_hits
+
+
+class ActualsBook:
+    """Thread-safe per-run recorder of operator actuals (scatter
+    workers record concurrently for the same logical site)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sites: dict[int, OpActual] = {}
+        self._ships: dict[tuple[str, str], OpActual] = {}
+        self.local = OpActual()
+
+    def record_site(self, site_id: int, *, bytes: int = 0, calls: int = 0,
+                    sim_s: float = 0.0, wall_s: float = 0.0,
+                    cache_hits: int = 0) -> None:
+        delta = OpActual(bytes=bytes, calls=calls, sim_s=sim_s,
+                         wall_s=wall_s, cache_hits=cache_hits)
+        with self._lock:
+            existing = self._sites.get(site_id)
+            if existing is None:
+                self._sites[site_id] = delta
+            else:
+                existing.merge(delta)
+
+    def record_ship(self, owner: str, local_name: str, *, bytes: int = 0,
+                    sim_s: float = 0.0, wall_s: float = 0.0,
+                    cache_hits: int = 0) -> None:
+        delta = OpActual(bytes=bytes, calls=1, sim_s=sim_s, wall_s=wall_s,
+                         cache_hits=cache_hits)
+        with self._lock:
+            key = (owner, local_name)
+            existing = self._ships.get(key)
+            if existing is None:
+                self._ships[key] = delta
+            else:
+                existing.merge(delta)
+
+    def site(self, site_id: int) -> OpActual | None:
+        with self._lock:
+            return self._sites.get(site_id)
+
+    def ship(self, owner: str, local_name: str) -> OpActual | None:
+        with self._lock:
+            return self._ships.get((owner, local_name))
+
+
+@dataclass(frozen=True)
+class OpAnalysis:
+    """One operator row of an analyzed plan: prediction next to truth.
+
+    ``actual_*`` are ``None`` when the run never exercised the operator
+    (a cached response made the round trip unnecessary, a shard was
+    skipped, a mixed plan's ship was resolved locally)."""
+
+    describe: str                    # the operator's own rendering
+    est_s: float
+    est_bytes: float
+    est_calls: float = 0.0
+    actual_s: float | None = None
+    actual_bytes: int | None = None
+    actual_calls: int | None = None
+    actual_wall_s: float | None = None
+    cache_hits: int = 0
+
+    @property
+    def time_error(self) -> float | None:
+        """actual / estimated simulated seconds (None: not comparable)."""
+        if self.actual_s is None or self.est_s <= 0.0:
+            return None
+        return self.actual_s / self.est_s
+
+    def as_dict(self) -> dict[str, object]:
+        # Wall-clock stays off the dict form: ``RunStats.summary()``
+        # must be identical across transports/runs (simulated
+        # accounting only); wall times live on the object and in the
+        # rendered tree.
+        return {
+            "op": self.describe,
+            "est_s": self.est_s,
+            "est_bytes": self.est_bytes,
+            "est_calls": self.est_calls,
+            "actual_s": self.actual_s,
+            "actual_bytes": self.actual_bytes,
+            "actual_calls": self.actual_calls,
+            "cache_hits": self.cache_hits,
+        }
+
+
+@dataclass(frozen=True)
+class PlanAnalysis:
+    """The analyzed plan: per-operator rows plus run-level totals."""
+
+    label: str
+    rows: tuple[OpAnalysis, ...] = ()
+    est_total_s: float = 0.0
+    est_total_bytes: float = 0.0
+    actual_total_s: float = 0.0
+    actual_total_bytes: int = 0
+    wall_s: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "est_total_s": self.est_total_s,
+            "est_total_bytes": self.est_total_bytes,
+            "actual_total_s": self.actual_total_s,
+            "actual_total_bytes": self.actual_total_bytes,
+            "ops": [row.as_dict() for row in self.rows],
+        }
+
+
+def _fmt_bytes(value: float | int | None) -> str:
+    if value is None:
+        return "-"
+    return f"{value / 1024:.1f}KB" if value >= 1024 else f"{value:.0f}B"
+
+
+def _fmt_ms(value: float | None) -> str:
+    return "-" if value is None else f"{value * 1e3:.2f}ms"
+
+
+def render_analysis(analysis: PlanAnalysis) -> str:
+    """The estimated-vs-actual tree, one line per operator::
+
+        plan by-projection: est 10.51ms/44.2KB -> actual 11.02ms/45.8KB
+          1. xrpc-call by-projection -> peer1 (...)
+             est 4.10ms/12.0KB x12 | actual 4.31ms/12.8KB x12 (x1.05)
+    """
+    lines = [
+        f"plan {analysis.label}: "
+        f"est {_fmt_ms(analysis.est_total_s)}/"
+        f"{_fmt_bytes(analysis.est_total_bytes)} -> actual "
+        f"{_fmt_ms(analysis.actual_total_s)}/"
+        f"{_fmt_bytes(analysis.actual_total_bytes)} "
+        f"(wall {_fmt_ms(analysis.wall_s)})"
+    ]
+    for index, row in enumerate(analysis.rows, start=1):
+        lines.append(f"  {index}. {row.describe}")
+        est_calls = f" x{row.est_calls:.0f}" if row.est_calls else ""
+        if row.actual_s is None and row.actual_bytes is None:
+            actual = "never exercised"
+            if row.cache_hits:
+                actual = f"served from cache ({row.cache_hits} hits)"
+            lines.append(
+                f"     est {_fmt_ms(row.est_s)}/"
+                f"{_fmt_bytes(row.est_bytes)}{est_calls} | {actual}")
+        else:
+            ratio = row.time_error
+            ratio_part = f" (x{ratio:.2f})" if ratio is not None else ""
+            calls_part = (f" x{row.actual_calls}"
+                          if row.actual_calls else "")
+            cache_part = (f", {row.cache_hits} cache hits"
+                          if row.cache_hits else "")
+            lines.append(
+                f"     est {_fmt_ms(row.est_s)}/"
+                f"{_fmt_bytes(row.est_bytes)}{est_calls} | actual "
+                f"{_fmt_ms(row.actual_s)}/"
+                f"{_fmt_bytes(row.actual_bytes)}{calls_part}"
+                f"{ratio_part}{cache_part}")
+    return "\n".join(lines)

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from repro.decompose import DecompositionResult, Strategy
 from repro.net.costmodel import CostModel
 from repro.net.estimate import CostVector
-from repro.net.stats import PlanReport
+from repro.net.stats import PlanReport, RunStats
+from repro.obs.explain import ActualsBook, OpAnalysis, PlanAnalysis
 
 
 def _fmt_bytes(value: float) -> str:
@@ -188,6 +189,48 @@ class PhysicalPlan:
             estimated_bytes=self.estimated_bytes,
             from_cache=from_cache,
             candidates=candidates,
-            explain=self.explain(),
+            explain_text=self.explain(),
         )
         return self.report
+
+    def build_analysis(self, actuals: ActualsBook, stats: RunStats,
+                       wall_s: float) -> PlanAnalysis:
+        """The explain-analyze rows: each operator's estimate next to
+        what the run's :class:`~repro.obs.explain.ActualsBook` recorded
+        for it (scatter shards alias back to their logical site, so a
+        ScatterGather row sums its per-shard round trips)."""
+        rows: list[OpAnalysis] = []
+        for op in self.ops:
+            est_s = op.vector.total_s(self.model)
+            est_bytes = op.vector.wire_bytes
+            if isinstance(op, LocalEval):
+                actual = actuals.local
+                est_calls = 0.0
+            elif isinstance(op, ShipDocument):
+                actual = actuals.ship(op.owner, op.local_name)
+                est_calls = float(op.shards or 1)
+            else:  # XrpcCall, possibly wrapped in BulkBatch/ScatterGather
+                call = op if isinstance(op, XrpcCall) else op.call
+                actual = actuals.site(call.site_id)
+                est_calls = call.calls
+            if actual is None:
+                rows.append(OpAnalysis(describe=op.describe(), est_s=est_s,
+                                       est_bytes=est_bytes,
+                                       est_calls=est_calls))
+            else:
+                rows.append(OpAnalysis(
+                    describe=op.describe(), est_s=est_s,
+                    est_bytes=est_bytes, est_calls=est_calls,
+                    actual_s=actual.sim_s, actual_bytes=actual.bytes,
+                    actual_calls=actual.calls,
+                    actual_wall_s=actual.wall_s,
+                    cache_hits=actual.cache_hits))
+        return PlanAnalysis(
+            label=self.label,
+            rows=tuple(rows),
+            est_total_s=self.estimated_s,
+            est_total_bytes=float(self.estimated_bytes),
+            actual_total_s=stats.times.total,
+            actual_total_bytes=stats.total_transferred_bytes,
+            wall_s=wall_s,
+        )

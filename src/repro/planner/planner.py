@@ -33,6 +33,7 @@ from repro.decompose import (
     DecompositionResult, Strategy, decompose, prepare, realize,
 )
 from repro.net.stats import PlanReport
+from repro.obs.trace import child_span
 from repro.planner.estimator import PlanEstimator
 from repro.planner.feedback import CalibrationBook
 from repro.planner.ir import BulkBatch, PhysicalPlan, ScatterGather, XrpcCall
@@ -123,10 +124,11 @@ class QueryPlanner:
                                 from_cache=True)
 
         if isinstance(choice, Strategy):
-            decomposition = decompose(parse_query(query), choice,
-                                      local_host=at,
-                                      code_motion=code_motion,
-                                      let_sinking=let_sinking)
+            with child_span("decompose", strategy=label):
+                decomposition = decompose(parse_query(query), choice,
+                                          local_host=at,
+                                          code_motion=code_motion,
+                                          let_sinking=let_sinking)
             chosen = self.estimator.lower(decomposition, at,
                                           bulk_rpc=bulk_rpc,
                                           transport=transport)
@@ -134,8 +136,12 @@ class QueryPlanner:
             with self._lock:
                 self._plans_enumerated += 1
         else:
-            candidates = self._enumerate(query, at, bulk_rpc, code_motion,
-                                         let_sinking, transport)
+            with child_span("enumerate") as enumerate_span:
+                candidates = self._enumerate(query, at, bulk_rpc,
+                                             code_motion, let_sinking,
+                                             transport)
+                if enumerate_span is not None:
+                    enumerate_span.set(candidates=len(candidates))
             ranked = sorted(
                 enumerate(candidates),
                 key=lambda pair: (pair[1].estimated_s, pair[0]))

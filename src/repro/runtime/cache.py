@@ -31,6 +31,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.metrics import MetricsRegistry
+
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.system.federation import Federation, Peer
     from repro.xmldb.document import Document
@@ -97,12 +99,30 @@ class CacheStats:
 
 
 class ResultCache:
-    """LRU response/document cache, safe for concurrent queries."""
+    """LRU response/document cache, safe for concurrent queries.
 
-    def __init__(self, max_responses: int = 256, max_documents: int = 32):
+    Accounting lives as ``cache_*`` counters in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (pass the federation's
+    to fold cache truth into its uniform snapshot; a private registry
+    is created otherwise). :attr:`stats` stays as the point-in-time
+    :class:`CacheStats` view existing callers read.
+    """
+
+    def __init__(self, max_responses: int = 256, max_documents: int = 32,
+                 metrics: MetricsRegistry | None = None):
         self.max_responses = max_responses
         self.max_documents = max_documents
-        self.stats = CacheStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._hits = self.metrics.counter(
+            "cache_hits_total", "result-cache lookups served")
+        self._misses = self.metrics.counter(
+            "cache_misses_total", "result-cache lookups missed")
+        self._evictions = self.metrics.counter(
+            "cache_evictions_total", "entries dropped by LRU bounds")
+        self._invalidations = self.metrics.counter(
+            "cache_invalidations_total", "entries dropped by store hooks")
+        self._saved_bytes = self.metrics.counter(
+            "cache_saved_bytes_total", "wire bytes avoided by hits")
         self._lock = threading.Lock()
         self._epoch = 0
         #: ResponseKey -> response XML text
@@ -130,11 +150,11 @@ class ResultCache:
         with self._lock:
             text = self._responses.get(key)
             if text is None:
-                self.stats.misses += 1
+                self._misses.inc()
                 return None
             self._responses.move_to_end(key)
-            self.stats.hits += 1
-            self.stats.saved_bytes += request_bytes + len(text.encode())
+            self._hits.inc()
+            self._saved_bytes.inc(request_bytes + len(text.encode()))
             return text
 
     def store_response(self, key: ResponseKey, response_xml: str,
@@ -146,7 +166,7 @@ class ResultCache:
             self._responses.move_to_end(key)
             while len(self._responses) > self.max_responses:
                 self._responses.popitem(last=False)
-                self.stats.evictions += 1
+                self._evictions.inc()
 
     # -- shipped documents --------------------------------------------------
 
@@ -155,11 +175,11 @@ class ResultCache:
         with self._lock:
             entry = self._documents.get((requester, owner, local_name))
             if entry is None:
-                self.stats.misses += 1
+                self._misses.inc()
                 return None
             self._documents.move_to_end((requester, owner, local_name))
-            self.stats.hits += 1
-            self.stats.saved_bytes += entry[1]
+            self._hits.inc()
+            self._saved_bytes.inc(entry[1])
             return entry
 
     def store_document(self, requester: str, owner: str, local_name: str,
@@ -172,7 +192,7 @@ class ResultCache:
             self._documents.move_to_end((requester, owner, local_name))
             while len(self._documents) > self.max_documents:
                 self._documents.popitem(last=False)
-                self.stats.evictions += 1
+                self._evictions.inc()
 
     # -- invalidation -------------------------------------------------------
 
@@ -187,7 +207,7 @@ class ResultCache:
             dropped = len(doomed) + len(self._responses)
             self._responses.clear()
             if dropped:
-                self.stats.invalidations += dropped
+                self._invalidations.inc(dropped)
 
     def attach(self, federation: "Federation") -> None:
         """Hook invalidation into every current peer's ``store`` (safe to
@@ -221,6 +241,16 @@ class ResultCache:
             peer.remove_on_store(listener)
 
     # -- introspection ------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """A point-in-time :class:`CacheStats` view of the ``cache_*``
+        registry counters (the historical read path)."""
+        return CacheStats(hits=self._hits.value,
+                          misses=self._misses.value,
+                          evictions=self._evictions.value,
+                          invalidations=self._invalidations.value,
+                          saved_bytes=self._saved_bytes.value)
 
     def __len__(self) -> int:
         with self._lock:

@@ -95,7 +95,10 @@ class FederationEngine:
         self.transport = transport
         self._owns_cache = cache is True
         if cache is True:
-            self.cache: ResultCache | None = ResultCache()
+            # An engine-owned cache publishes its cache_* series into
+            # the federation's registry, next to the wire_* truth.
+            self.cache: ResultCache | None = ResultCache(
+                metrics=federation.metrics)
         elif cache is False:
             self.cache = None
         else:
@@ -110,7 +113,8 @@ class FederationEngine:
                                     worth_waiting=lambda:
                                     self.executing > 1)
                         if batch_window_s > 0 else None)
-        self.metrics = metrics if metrics is not None else MetricsAggregator()
+        self.metrics = (metrics if metrics is not None
+                        else MetricsAggregator(metrics=federation.metrics))
         self.max_in_flight = (max_in_flight if max_in_flight is not None
                               else 2 * max_workers)
         self._admission = BoundedSemaphore(self.max_in_flight)
@@ -249,9 +253,12 @@ class FederationEngine:
     # -- introspection ------------------------------------------------------
 
     def summary(self) -> dict[str, object]:
-        """Metrics, wire truth, cache and batching state in one dict."""
+        """Metrics, wire truth, cache and batching state in one dict,
+        plus the federation registry's uniform ``snapshot()``."""
         out: dict[str, object] = {"metrics": self.metrics.summary(),
-                                  "wire": self.transport.wire_summary()}
+                                  "wire": self.transport.wire_summary(),
+                                  "registry":
+                                      self.federation.metrics.snapshot()}
         if self.cache is not None:
             out["cache"] = self.cache.snapshot()
         if self.batcher is not None:

@@ -8,30 +8,25 @@ fleet view. :class:`MetricsAggregator` collects one
 into the numbers ``benchmarks/bench_throughput.py`` sweeps: queries/sec
 over the busy interval, wall-clock p50/p95/p99, simulated-time totals,
 and transferred bytes.
+
+The aggregator is now a *consumer* of the unified
+:class:`~repro.obs.metrics.MetricsRegistry`: each recorded query also
+feeds the ``query_*`` series (latency histogram, per-plan counters,
+byte totals), so ``registry.snapshot()`` carries the fleet view next
+to the transport's ``wire_*`` and the cache's ``cache_*`` truth.
+:func:`percentile` is re-exported from its canonical home in
+:mod:`repro.obs.metrics` for existing importers.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.net.stats import RunStats
+from repro.obs.metrics import MetricsRegistry, percentile
 
-
-def percentile(values: list[float], q: float) -> float:
-    """The ``q``-th percentile (0-100) with linear interpolation."""
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile {q} out of range")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+__all__ = ["percentile", "QueryRecord", "MetricsAggregator"]
 
 
 @dataclass
@@ -55,17 +50,42 @@ class QueryRecord:
         return self.error is None
 
 
-@dataclass
 class MetricsAggregator:
-    """Thread-safe accumulator of :class:`QueryRecord`."""
+    """Thread-safe accumulator of :class:`QueryRecord`, publishing the
+    ``query_*`` series into ``metrics`` (private registry if omitted)."""
 
-    records: list[QueryRecord] = field(default_factory=list)
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False)
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.records: list[QueryRecord] = []
+        self._lock = threading.Lock()
+        self._completed = self.metrics.counter(
+            "query_completed_total", "queries that finished cleanly")
+        self._failed = self.metrics.counter(
+            "query_failed_total", "queries that raised")
+        self._latency = self.metrics.histogram(
+            "query_latency_seconds", "wall-clock seconds per query")
+        self._bytes = self.metrics.counter(
+            "query_transferred_bytes_total",
+            "Figure 7 bytes summed over completed queries")
+        self._sim_s = self.metrics.counter(
+            "query_simulated_seconds_total",
+            "Figure 8 simulated seconds summed over completed queries")
+        self._plans = self.metrics.counter(
+            "query_plans_total", "executions per physical plan label",
+            ("plan",))
 
     def record(self, record: QueryRecord) -> None:
         with self._lock:
             self.records.append(record)
+        if record.ok and record.stats is not None:
+            self._completed.inc()
+            self._latency.observe(record.wall_s)
+            self._bytes.inc(record.stats.total_transferred_bytes)
+            self._sim_s.inc(record.stats.times.total)
+            if record.plan is not None:
+                self._plans.labels(record.plan).inc()
+        else:
+            self._failed.inc()
 
     # -- reductions ---------------------------------------------------------
 

@@ -5,8 +5,15 @@ A :class:`Transport` owns everything between "the request message is
 built" and "the parsed response is back": serialising both messages to
 their SOAP-style XML text, charging :class:`~repro.net.costmodel.CostModel`
 time into the caller's :class:`~repro.net.stats.RunStats`, and keeping
-federation-wide wire counters (bytes/messages per peer) that survive
-across queries — the ground truth the engine's metrics report.
+federation-wide wire truth (bytes/messages/in-flight per peer) that
+survives across queries — the ground truth the engine's metrics
+report. That truth now lives as ``wire_*`` series in a
+:class:`~repro.obs.metrics.MetricsRegistry` (pass the federation's to
+share one read path; standalone transports get a private registry),
+and every cost-model charge is mirrored onto the caller's bound trace
+span via :meth:`RunStats.charge_span`, so traced runs see the
+serialize/network/shred components on the exact span doing the wire
+work.
 
 Two implementations ship:
 
@@ -34,6 +41,7 @@ from typing import TYPE_CHECKING, Callable
 from repro.errors import NetworkError
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
+from repro.obs.metrics import MetricsRegistry
 from repro.xrpc.messages import RequestMessage, ResponseMessage
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -67,94 +75,95 @@ class Exchange:
         return len(self.response_xml.encode())
 
 
-@dataclass
-class _WireCounters:
-    """Per-peer wire truth, aggregated across all queries."""
-
-    messages: int = 0
-    message_bytes: int = 0
-    document_bytes: int = 0
-
-
 class Transport:
     """Base transport: serialise, charge the cost model, deliver.
 
     ``per_peer_concurrency`` bounds how many exchanges may be in flight
     against one destination peer at a time — the runtime's per-peer
     request queue (excess callers block on the peer's semaphore in FIFO
-    arrival order).
+    arrival order). ``metrics`` is the registry the ``wire_*`` series
+    register in (a private one when omitted, so standalone transports
+    keep exact counts in tests).
     """
 
     def __init__(self, cost_model: CostModel | None = None,
-                 per_peer_concurrency: int | None = None):
+                 per_peer_concurrency: int | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.per_peer_concurrency = per_peer_concurrency
         self._lock = threading.Lock()
-        self._counters: dict[str, _WireCounters] = {}
         self._gates: dict[str, threading.BoundedSemaphore] = {}
-        self._in_flight: dict[str, int] = {}
         self._down: set[str] = set()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._wire_messages = self.metrics.counter(
+            "wire_messages_total", "delivered SOAP messages", ("peer",))
+        self._wire_message_bytes = self.metrics.counter(
+            "wire_message_bytes_total", "delivered message bytes", ("peer",))
+        self._wire_document_bytes = self.metrics.counter(
+            "wire_document_bytes_total", "shipped document bytes", ("peer",))
+        self._wire_in_flight = self.metrics.gauge(
+            "wire_in_flight", "exchanges currently on the wire", ("peer",))
 
     # -- wire counters ------------------------------------------------------
 
-    def _counter(self, peer_name: str) -> _WireCounters:
-        counter = self._counters.get(peer_name)
-        if counter is None:
-            counter = self._counters.setdefault(peer_name, _WireCounters())
-        return counter
-
     def _count_message(self, peer_name: str, size: int) -> None:
-        with self._lock:
-            counter = self._counter(peer_name)
-            counter.messages += 1
-            counter.message_bytes += size
+        self._wire_messages.labels(peer_name).inc()
+        self._wire_message_bytes.labels(peer_name).inc(size)
 
     def _count_document(self, peer_name: str, size: int) -> None:
-        with self._lock:
-            self._counter(peer_name).document_bytes += size
+        self._wire_document_bytes.labels(peer_name).inc(size)
 
     def wire_summary(self) -> dict[str, dict[str, int]]:
         """Bytes/messages per peer, across every query this transport
-        served (documents count against their owner peer)."""
-        with self._lock:
-            return {name: {"messages": c.messages,
-                           "message_bytes": c.message_bytes,
-                           "document_bytes": c.document_bytes,
-                           "total_bytes": c.message_bytes + c.document_bytes}
-                    for name, c in sorted(self._counters.items())}
+        served (documents count against their owner peer). Read from
+        the ``wire_*`` registry series — the same numbers
+        ``metrics.snapshot()`` exports."""
+        messages = self._wire_messages.series()
+        message_bytes = self._wire_message_bytes.series()
+        document_bytes = self._wire_document_bytes.series()
+        names = {key[0] for key in messages}
+        names.update(key[0] for key in message_bytes)
+        names.update(key[0] for key in document_bytes)
+
+        def value(series: dict, name: str) -> int:
+            child = series.get((name,))
+            return child.value if child is not None else 0
+
+        out: dict[str, dict[str, int]] = {}
+        for name in sorted(names):
+            mbytes = value(message_bytes, name)
+            dbytes = value(document_bytes, name)
+            out[name] = {"messages": value(messages, name),
+                         "message_bytes": mbytes,
+                         "document_bytes": dbytes,
+                         "total_bytes": mbytes + dbytes}
+        return out
 
     # -- live load & peer health --------------------------------------------
 
     def _enter_peer(self, peer_name: str) -> None:
-        with self._lock:
-            self._in_flight[peer_name] = self._in_flight.get(peer_name,
-                                                             0) + 1
+        self._wire_in_flight.labels(peer_name).inc()
 
     def _exit_peer(self, peer_name: str) -> None:
-        with self._lock:
-            self._in_flight[peer_name] = self._in_flight.get(peer_name,
-                                                             1) - 1
+        self._wire_in_flight.labels(peer_name).dec()
 
     def peer_load(self, peer_name: str) -> tuple[int, int]:
         """``(in-flight exchanges, total bytes served)`` for one peer —
-        the live signal the cluster router ranks replicas by."""
-        with self._lock:
-            counter = self._counters.get(peer_name)
-            total = (counter.message_bytes + counter.document_bytes
-                     if counter is not None else 0)
-            return (self._in_flight.get(peer_name, 0), total)
+        the live signal the cluster router ranks replicas by. Uses
+        non-creating reads so load probes never mint zero series."""
+        gauge = self._wire_in_flight.get(peer_name)
+        mbytes = self._wire_message_bytes.get(peer_name)
+        dbytes = self._wire_document_bytes.get(peer_name)
+        total = ((mbytes.value if mbytes is not None else 0)
+                 + (dbytes.value if dbytes is not None else 0))
+        return (int(gauge.value) if gauge is not None else 0, total)
 
     def peer_loads(self) -> dict[str, tuple[int, int]]:
         """One :meth:`peer_load` snapshot per peer ever contacted."""
-        with self._lock:
-            names = set(self._counters) | set(self._in_flight)
-            return {
-                name: (self._in_flight.get(name, 0),
-                       (self._counters[name].message_bytes
-                        + self._counters[name].document_bytes)
-                       if name in self._counters else 0)
-                for name in names
-            }
+        names = {key[0] for key in self._wire_in_flight.series()}
+        names.update(key[0] for key in self._wire_message_bytes.series())
+        names.update(key[0] for key in self._wire_document_bytes.series())
+        return {name: self.peer_load(name) for name in names}
 
     def kill_peer(self, peer_name: str) -> None:
         """Make every future transmission to ``peer_name`` raise
@@ -221,9 +230,12 @@ class Transport:
     def charge_message(self, stats: RunStats, size: int) -> None:
         model = self.cost_model
         stats.record_message(size)
-        stats.times.serialize += model.serialize_time(size)
-        stats.times.network += model.network_time(size)
-        stats.times.serialize += model.deserialize_time(size)
+        codec_s = model.serialize_time(size) + model.deserialize_time(size)
+        network_s = model.network_time(size)
+        stats.times.serialize += codec_s
+        stats.times.network += network_s
+        stats.charge_span("serialize", codec_s)
+        stats.charge_span("network", network_s, size)
 
     def exchange(self, peer: "Peer", request: RequestMessage,
                  handle: Callable[[RequestMessage], ResponseMessage],
@@ -275,9 +287,15 @@ class Transport:
         size = len(text.encode())
         model = self.cost_model
         stats.record_document_shipped(size)
-        stats.times.serialize += model.serialize_time(size)
-        stats.times.network += model.network_time(size)
-        stats.times.shred += model.shred_time(size)
+        serialize_s = model.serialize_time(size)
+        network_s = model.network_time(size)
+        shred_s = model.shred_time(size)
+        stats.times.serialize += serialize_s
+        stats.times.network += network_s
+        stats.times.shred += shred_s
+        stats.charge_span("serialize", serialize_s)
+        stats.charge_span("network", network_s, size)
+        stats.charge_span("shred", shred_s)
         self._enter_peer(owner.name)
         try:
             self._gated_transmit(owner.name, size)
@@ -328,8 +346,9 @@ class SimulatedTransport(Transport):
                  time_scale: float = 1.0,
                  extra_latency_s: float = 0.0,
                  fault_rate: float = 0.0,
-                 fault_seed: int = 20090329):
-        super().__init__(cost_model, per_peer_concurrency)
+                 fault_seed: int = 20090329,
+                 metrics: MetricsRegistry | None = None):
+        super().__init__(cost_model, per_peer_concurrency, metrics)
         self.time_scale = time_scale
         self.extra_latency_s = extra_latency_s
         self.faults = FaultPlan(rate=fault_rate, seed=fault_seed)

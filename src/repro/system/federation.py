@@ -25,15 +25,20 @@ cluster's scatter-gather :class:`~repro.cluster.router.ClusterRouter`.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.cluster.catalog import ClusterCatalog, CollectionSpec
 from repro.cluster.router import ClusterRouter
-from repro.decompose import DecompositionResult, Strategy
+from repro.decompose import DecompositionResult, Strategy, strategy_label
 from repro.errors import NetworkError, XQueryDynamicError
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
+from repro.obs.explain import ActualsBook
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, bind_stats_span, child_span
 from repro.planner.ir import PhysicalPlan
 from repro.planner.planner import QueryPlanner
 from repro.paths.analysis import PathSets, ProjectionSpec, analyze_module
@@ -135,6 +140,10 @@ class RunResult:
     stats: RunStats
     decomposition: DecompositionResult
     messages: list[MessageLog] = field(default_factory=list)
+    #: The closed span tree of a ``trace=True`` run (None otherwise);
+    #: export with :func:`repro.obs.dump_trace` /
+    #: :func:`repro.obs.dump_chrome_trace`.
+    trace: Span | None = None
 
     @property
     def module(self) -> Module:
@@ -153,11 +162,24 @@ class Federation:
                  static: StaticContext | None = None,
                  transport: Transport | None = None,
                  catalog: ClusterCatalog | None = None,
-                 planner: QueryPlanner | None = None):
+                 planner: QueryPlanner | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.static = static if static is not None else StaticContext()
+        # One registry per federation: the default transport's wire_*
+        # series, the engine's cache_*/query_* series and the router's
+        # scatter_* series all land in it. An injected transport keeps
+        # its own registry, which becomes the federation's unless the
+        # caller passed one explicitly.
+        if metrics is not None:
+            self.metrics = metrics
+        elif transport is not None:
+            self.metrics = transport.metrics
+        else:
+            self.metrics = MetricsRegistry()
         self.transport = (transport if transport is not None
-                          else LoopbackTransport(self.cost_model))
+                          else LoopbackTransport(self.cost_model,
+                                                 metrics=self.metrics))
         self.peers: dict[str, Peer] = {}
         self.catalog = catalog
         self._planner = planner
@@ -215,7 +237,8 @@ class Federation:
             keep_message_xml: bool = False,
             transport: Transport | None = None,
             result_cache: ResultCache | None = None,
-            batcher: BulkBatcher | None = None) -> RunResult:
+            batcher: BulkBatcher | None = None,
+            trace: bool = False) -> RunResult:
         """Parse, decompose and execute ``query`` at peer ``at``.
 
         ``strategy`` accepts the enum, a case-insensitive string alias
@@ -223,23 +246,35 @@ class Federation:
         hands the choice to the cost-based :attr:`planner` (it may pick
         a *mixed* plan shipping some documents while decomposing
         others, and records its estimate in ``RunStats.plan``).
+
+        ``trace=True`` records a per-query span tree (``query`` →
+        ``plan`` / ``rpc`` / ``scatter`` / ``ship`` with component
+        leaves) into ``RunResult.trace``; off by default and zero-cost
+        when off.
         """
         choice = Strategy.coerce(strategy)
-        # Fixed strategies go through the same planner entry point as
-        # auto: the plan cache then amortises decomposition + lowering
-        # across a multi-tenant sweep of identical queries.
-        planned = self.planner.plan(query, at=at, strategy=choice,
-                                    bulk_rpc=bulk_rpc,
-                                    code_motion=code_motion,
-                                    let_sinking=let_sinking,
-                                    transport=transport)
-        return self.execute(planned.decomposition, at,
-                            bulk_rpc=bulk_rpc,
-                            keep_message_xml=keep_message_xml,
-                            transport=transport,
-                            result_cache=result_cache,
-                            batcher=batcher, plan=planned.plan,
-                            report=planned.report)
+        tracer = Tracer() if trace else None
+        root_ctx = (tracer.start("query", at=at,
+                                 strategy=strategy_label(choice))
+                    if tracer is not None else nullcontext())
+        with root_ctx:
+            # Fixed strategies go through the same planner entry point
+            # as auto: the plan cache then amortises decomposition +
+            # lowering across a multi-tenant sweep of identical queries.
+            with child_span("plan"):
+                planned = self.planner.plan(query, at=at, strategy=choice,
+                                            bulk_rpc=bulk_rpc,
+                                            code_motion=code_motion,
+                                            let_sinking=let_sinking,
+                                            transport=transport)
+            return self.execute(planned.decomposition, at,
+                                bulk_rpc=bulk_rpc,
+                                keep_message_xml=keep_message_xml,
+                                transport=transport,
+                                result_cache=result_cache,
+                                batcher=batcher, plan=planned.plan,
+                                report=planned.report,
+                                tracer=tracer)
 
     def execute(self, decomposition: DecompositionResult, at: str,
                 bulk_rpc: bool = True,
@@ -248,7 +283,9 @@ class Federation:
                 result_cache: ResultCache | None = None,
                 batcher: BulkBatcher | None = None,
                 plan: PhysicalPlan | None = None,
-                report=None) -> RunResult:
+                report=None,
+                tracer: Tracer | None = None,
+                trace: bool = False) -> RunResult:
         """Execute an already-decomposed query at peer ``at``.
 
         ``transport`` defaults to the federation's (loopback);
@@ -264,18 +301,43 @@ class Federation:
         record into the run's stats (defaults to the plan's own — the
         auto path passes a per-call copy so a plan-cache hit never
         mutates the report of a concurrently executing run).
+
+        ``tracer`` is an already-started tracer (:meth:`run` passes its
+        own); ``trace=True`` without one opens a fresh ``query`` root
+        here, for callers executing pre-built decompositions.
         """
         if plan is None:
             plan = self.planner.lower_fixed(decomposition, at,
                                             bulk_rpc=bulk_rpc,
                                             transport=transport)
-        run = _Run(self, decomposition, at, bulk_rpc, keep_message_xml,
-                   transport=transport, result_cache=result_cache,
-                   batcher=batcher, plan=plan)
-        result = run.execute()
-        result.stats.plan = report if report is not None else plan.report
-        self.planner.observe(plan, result)
-        return result
+        root_ctx = nullcontext()
+        if trace and tracer is None:
+            tracer = Tracer()
+            root_ctx = tracer.start("query", at=at)
+        with root_ctx:
+            run = _Run(self, decomposition, at, bulk_rpc,
+                       keep_message_xml,
+                       transport=transport, result_cache=result_cache,
+                       batcher=batcher, plan=plan, tracer=tracer)
+            started = time.perf_counter()
+            result = run.execute()
+            wall_s = time.perf_counter() - started
+            base_report = report if report is not None else plan.report
+            if base_report is None:
+                base_report = plan.build_report()
+            result.stats.plan = replace(
+                base_report,
+                analysis=plan.build_analysis(run.actuals, result.stats,
+                                             wall_s))
+            self.planner.observe(plan, result)
+            if tracer is not None and tracer.root is not None:
+                root = tracer.root
+                root.set(strategy=result.stats.plan.strategy,
+                         total_bytes=result.stats.total_transferred_bytes,
+                         rpc_calls=result.stats.rpc_calls,
+                         cache_hits=result.stats.cache_hits)
+                result.trace = root
+            return result
 
 
 class _Run:
@@ -287,7 +349,8 @@ class _Run:
                  transport: Transport | None = None,
                  result_cache: ResultCache | None = None,
                  batcher: BulkBatcher | None = None,
-                 plan: PhysicalPlan | None = None):
+                 plan: PhysicalPlan | None = None,
+                 tracer: Tracer | None = None):
         self.federation = federation
         self.decomposition = decomposition
         self.origin = origin
@@ -298,11 +361,22 @@ class _Run:
         self.result_cache = result_cache
         self.batcher = batcher
         self.plan = plan
+        self.tracer = tracer
         self.stats = RunStats()
+        if tracer is not None and tracer.root is not None:
+            # Charges against the run's stats land on the query root
+            # until a narrower span (rpc/ship) rebinds them.
+            self.stats.span = tracer.root
         self.messages: list[MessageLog] = []
         self.local_counter = CostCounter()
         self.remote_counter = CostCounter()
         self._shipped_docs: dict[tuple[str, str], Document] = {}
+        #: Per-operator actuals for explain-analyze (always recorded —
+        #: one timestamped dict update per round trip / ship).
+        self.actuals = ActualsBook()
+        #: Rewritten shard-body ids → the logical call site id the plan
+        #: knows (registered by the router for the scatter's duration).
+        self.site_alias: dict[int, int] = {}
         # Message semantics come from the plan: uniform for a fixed
         # strategy, per call site for a planner-built mixed plan. The
         # ``site_semantics`` dict additionally carries the cluster
@@ -380,6 +454,7 @@ class _Run:
         cached = self._shipped_docs.get(key)
         if cached is not None:
             return cached
+        wall0 = time.perf_counter()
         cache_epoch = None
         if self.result_cache is not None:
             cache_epoch = self.result_cache.epoch()
@@ -390,15 +465,28 @@ class _Run:
                 stats.cache_hits += 1
                 stats.cache_saved_bytes += size
                 self._shipped_docs[key] = document
+                self.actuals.record_ship(
+                    owner, local_name, bytes=0,
+                    wall_s=time.perf_counter() - wall0, cache_hits=1)
                 return document
-        text = self.transport.fetch_document(
-            self.federation.peer(owner), local_name, stats)
-        document = parse_document(
-            text, uri=f"{XRPC_SCHEME}{owner}/{local_name}")
+        sim0 = stats.times.total
+        with child_span("ship", owner=owner, doc=local_name,
+                        to=requester) as ship_span, \
+                bind_stats_span(stats, ship_span):
+            text = self.transport.fetch_document(
+                self.federation.peer(owner), local_name, stats)
+            document = parse_document(
+                text, uri=f"{XRPC_SCHEME}{owner}/{local_name}")
+            size = len(text.encode())
+            if ship_span is not None:
+                ship_span.set(bytes=size)
+        self.actuals.record_ship(owner, local_name, bytes=size,
+                                 sim_s=stats.times.total - sim0,
+                                 wall_s=time.perf_counter() - wall0)
         self._shipped_docs[key] = document
         if self.result_cache is not None:
             self.result_cache.store_document(requester, owner, local_name,
-                                             document, len(text.encode()),
+                                             document, size,
                                              epoch=cache_epoch)
         return document
 
@@ -415,6 +503,7 @@ class _Run:
         cached = self._shipped_docs.get(key)
         if cached is not None:
             return cached
+        wall0 = time.perf_counter()
         cache_epoch = None
         cache_name = None
         if self.result_cache is not None:
@@ -432,11 +521,23 @@ class _Run:
                 stats.cache_hits += 1
                 stats.cache_saved_bytes += size
                 self._shipped_docs[key] = document
+                self.actuals.record_ship(
+                    spec.name, local_name, bytes=0,
+                    wall_s=time.perf_counter() - wall0, cache_hits=1)
                 return document
         router = ClusterRouter(self, catalog)
-        document, size = router.fetch_collection_document(spec, local_name,
-                                                          requester,
-                                                          stats=stats)
+        sim0 = stats.times.total
+        with child_span("ship", owner=spec.name, doc=local_name,
+                        to=requester,
+                        shards=len(spec.shards)) as ship_span:
+            document, size = router.fetch_collection_document(
+                spec, local_name, requester, stats=stats,
+                parent_span=ship_span)
+            if ship_span is not None:
+                ship_span.set(bytes=size)
+        self.actuals.record_ship(spec.name, local_name, bytes=size,
+                                 sim_s=stats.times.total - sim0,
+                                 wall_s=time.perf_counter() - wall0)
         self._shipped_docs[key] = document
         if self.result_cache is not None and cache_name is not None:
             self.result_cache.store_document(requester, spec.name,
@@ -517,114 +618,161 @@ class _Run:
             returned_paths = sorted(
                 str(p) for p in spec.result_paths.returned)
 
-        query_text = pretty(body)
-        param_names = [name for name, _seq in calls[0]] if calls else []
-        static_attrs = self.federation.static.to_attributes()
+        # Explain-analyze attribution: shard-rewritten bodies alias
+        # back to the logical call site the plan priced; sim seconds
+        # are inclusive deltas, mirroring how the estimator prices.
+        site_id = self.site_alias.get(id(body), id(body))
+        wall0 = time.perf_counter()
+        sim0 = stats.times.total
+        bytes0 = stats.message_bytes + stats.document_bytes
 
-        def build_request(raw_calls: list[list[tuple[str, list]]]
-                          ) -> RequestMessage:
-            bundle = marshal_calls(raw_calls, semantics, param_paths)
-            return RequestMessage(
-                query=query_text,
-                param_names=param_names,
-                calls=bundle.calls,
-                fragments=bundle.fragments,
-                static_attrs=static_attrs,
-                used_paths=used_paths,
-                returned_paths=returned_paths,
-            )
+        with child_span("rpc", dest=dest_name) as rpc_span, \
+                bind_stats_span(stats, rpc_span):
+            if rpc_span is not None:
+                rpc_span.set(semantics=semantics, calls=len(calls))
+                if used_paths is not None:
+                    rpc_span.set(used_paths=len(used_paths),
+                                 returned=len(returned_paths or ()))
 
-        request = build_request(calls)
-        request_xml = request.to_xml()
-        request_bytes = len(request_xml.encode())
-        base_uri = f"{XRPC_SCHEME}{peer.name}/response"
+            query_text = pretty(body)
+            param_names = [name for name, _seq in calls[0]] if calls else []
+            static_attrs = self.federation.static.to_attributes()
 
-        cache_key = cache_epoch = None
-        if self.result_cache is not None:
-            cache_epoch = self.result_cache.epoch()
-            cache_key = response_key(cache_scope or dest_name,
-                                     semantics, request_xml,
-                                     used_paths, returned_paths,
-                                     shard_epoch=shard_epoch)
-            hit = self.result_cache.lookup_response(cache_key, request_bytes)
-            if hit is not None:
-                # Served from the shared cache: nothing on the wire; the
-                # cached text is still shredded locally into fresh
-                # fragment documents, so node identity stays per-query.
-                stats.cache_hits += 1
-                stats.cache_saved_bytes += (request_bytes
-                                            + len(hit.encode()))
-                stats.times.serialize += model.deserialize_time(
-                    len(hit.encode()))
-                parsed = ResponseMessage.from_xml(hit)
-                return unmarshal_result(parsed.results, parsed.fragments,
-                                        base_uri=base_uri)
+            def build_request(raw_calls: list[list[tuple[str, list]]]
+                              ) -> RequestMessage:
+                bundle = marshal_calls(raw_calls, semantics, param_paths)
+                return RequestMessage(
+                    query=query_text,
+                    param_names=param_names,
+                    calls=bundle.calls,
+                    fragments=bundle.fragments,
+                    static_attrs=static_attrs,
+                    used_paths=used_paths,
+                    returned_paths=returned_paths,
+                )
 
-        def make_handler() -> RequestHandler:
-            return RequestHandler(
-                peer_name=peer.name,
-                resolve_doc=self._resolver(peer.name, stats=stats),
-                xrpc_execute=self._make_xrpc_execute(
-                    peer.name, stats=stats, counter=remote_counter),
-                semantics=semantics,
-                counter=remote_counter,
-            )
+            request = build_request(calls)
+            request_xml = request.to_xml()
+            request_bytes = len(request_xml.encode())
+            base_uri = f"{XRPC_SCHEME}{peer.name}/response"
 
-        if self.batcher is not None:
-            key = batch_key(dest_name, query_text, param_names,
-                            semantics, static_attrs,
-                            used_paths, returned_paths)
+            cache_key = cache_epoch = None
+            if self.result_cache is not None:
+                cache_epoch = self.result_cache.epoch()
+                cache_key = response_key(cache_scope or dest_name,
+                                         semantics, request_xml,
+                                         used_paths, returned_paths,
+                                         shard_epoch=shard_epoch)
+                hit = self.result_cache.lookup_response(cache_key,
+                                                        request_bytes)
+                if hit is not None:
+                    # Served from the shared cache: nothing on the
+                    # wire; the cached text is still shredded locally
+                    # into fresh fragment documents, so node identity
+                    # stays per-query.
+                    stats.cache_hits += 1
+                    stats.cache_saved_bytes += (request_bytes
+                                                + len(hit.encode()))
+                    deserialize_s = model.deserialize_time(
+                        len(hit.encode()))
+                    stats.times.serialize += deserialize_s
+                    stats.charge_span("serialize", deserialize_s)
+                    if rpc_span is not None:
+                        rpc_span.set(cache="hit",
+                                     saved_bytes=request_bytes
+                                     + len(hit.encode()))
+                    self.actuals.record_site(
+                        site_id, sim_s=stats.times.total - sim0,
+                        wall_s=time.perf_counter() - wall0,
+                        cache_hits=len(calls))
+                    parsed = ResponseMessage.from_xml(hit)
+                    return unmarshal_result(parsed.results,
+                                            parsed.fragments,
+                                            base_uri=base_uri)
 
-            def merged_exchange(merged_calls: list[list[tuple[str, list]]]
-                                ) -> ResponseMessage:
-                # Only the batch leader lands here; the merged wire
-                # exchange is charged to no single query (each
-                # participant accounts for its private messages below),
-                # while the transport's wire counters record the truth.
-                # Known accounting skew: nested work the merged
-                # evaluation triggers (document shipping, recursive
-                # round trips) runs through the leader's resolver and
-                # counters, so under coalescing the leader's RunStats
-                # over-report and riders' under-report that share.
-                if len(merged_calls) == len(calls):
-                    # No riders joined: batch.calls is exactly our own
-                    # call list, so reuse the already-built request.
-                    merged_request, merged_xml = request, request_xml
-                else:
-                    merged_request, merged_xml = (
-                        build_request(merged_calls), None)
-                exchange = self.transport.exchange(
-                    peer, merged_request, make_handler().handle,
-                    RunStats(), request_xml=merged_xml)
-                return exchange.response, exchange.response_xml
+            def make_handler() -> RequestHandler:
+                return RequestHandler(
+                    peer_name=peer.name,
+                    resolve_doc=self._resolver(peer.name, stats=stats),
+                    xrpc_execute=self._make_xrpc_execute(
+                        peer.name, stats=stats, counter=remote_counter),
+                    semantics=semantics,
+                    counter=remote_counter,
+                )
 
-            response_xml = self.batcher.execute(key, calls, merged_exchange)
-            self.transport.charge_message(stats, request_bytes)
-            response_bytes = len(response_xml.encode())
-            self.transport.charge_message(stats, response_bytes)
-            parsed = ResponseMessage.from_xml(response_xml)
-        else:
-            exchange = self.transport.exchange(peer, request,
-                                               make_handler().handle,
-                                               stats,
-                                               request_xml=request_xml)
-            response_xml = exchange.response_xml
-            response_bytes = exchange.response_bytes
-            parsed = exchange.response
+            if self.batcher is not None:
+                key = batch_key(dest_name, query_text, param_names,
+                                semantics, static_attrs,
+                                used_paths, returned_paths)
 
-        stats.rpc_calls += len(calls)
-        self.messages.append(MessageLog(
-            dest=peer.name, calls=len(calls),
-            request_bytes=request_bytes, response_bytes=response_bytes,
-            request_xml=request_xml if self.keep_message_xml else "",
-            response_xml=response_xml if self.keep_message_xml else "",
-        ))
+                def merged_exchange(
+                        merged_calls: list[list[tuple[str, list]]]
+                        ) -> ResponseMessage:
+                    # Only the batch leader lands here; the merged wire
+                    # exchange is charged to no single query (each
+                    # participant accounts for its private messages
+                    # below), while the transport's wire counters
+                    # record the truth. The throwaway RunStats carries
+                    # no span either, so traced runs never double-count
+                    # the merged exchange. Known accounting skew:
+                    # nested work the merged evaluation triggers
+                    # (document shipping, recursive round trips) runs
+                    # through the leader's resolver and counters, so
+                    # under coalescing the leader's RunStats
+                    # over-report and riders' under-report that share.
+                    if len(merged_calls) == len(calls):
+                        # No riders joined: batch.calls is exactly our
+                        # own call list, so reuse the built request.
+                        merged_request, merged_xml = request, request_xml
+                    else:
+                        merged_request, merged_xml = (
+                            build_request(merged_calls), None)
+                    exchange = self.transport.exchange(
+                        peer, merged_request, make_handler().handle,
+                        RunStats(), request_xml=merged_xml)
+                    return exchange.response, exchange.response_xml
 
-        if self.result_cache is not None and cache_key is not None:
-            self.result_cache.store_response(cache_key, response_xml,
-                                             epoch=cache_epoch)
-        return unmarshal_result(parsed.results, parsed.fragments,
-                                base_uri=base_uri)
+                response_xml = self.batcher.execute(key, calls,
+                                                    merged_exchange)
+                self.transport.charge_message(stats, request_bytes)
+                response_bytes = len(response_xml.encode())
+                self.transport.charge_message(stats, response_bytes)
+                parsed = ResponseMessage.from_xml(response_xml)
+            else:
+                exchange = self.transport.exchange(peer, request,
+                                                   make_handler().handle,
+                                                   stats,
+                                                   request_xml=request_xml)
+                response_xml = exchange.response_xml
+                response_bytes = exchange.response_bytes
+                parsed = exchange.response
+
+            stats.rpc_calls += len(calls)
+            if rpc_span is not None:
+                rpc_span.set(cache="miss" if cache_key is not None
+                             else "off",
+                             request_bytes=request_bytes,
+                             response_bytes=response_bytes)
+            self.actuals.record_site(
+                site_id,
+                bytes=(stats.message_bytes + stats.document_bytes
+                       - bytes0),
+                calls=len(calls),
+                sim_s=stats.times.total - sim0,
+                wall_s=time.perf_counter() - wall0)
+            self.messages.append(MessageLog(
+                dest=peer.name, calls=len(calls),
+                request_bytes=request_bytes,
+                response_bytes=response_bytes,
+                request_xml=request_xml if self.keep_message_xml else "",
+                response_xml=response_xml if self.keep_message_xml else "",
+            ))
+
+            if self.result_cache is not None and cache_key is not None:
+                self.result_cache.store_response(cache_key, response_xml,
+                                                 epoch=cache_epoch)
+            return unmarshal_result(parsed.results, parsed.fragments,
+                                    base_uri=base_uri)
 
     # -- top-level execution --------------------------------------------------------
 
@@ -640,10 +788,18 @@ class _Run:
         items = evaluator.run(env)
 
         model = self.federation.cost_model
-        self.stats.times.local_exec = model.exec_time(
+        local_s = model.exec_time(
             self.local_counter.ticks, self.local_counter.nodes_visited)
-        self.stats.times.remote_exec = model.exec_time(
+        remote_s = model.exec_time(
             self.remote_counter.ticks, self.remote_counter.nodes_visited)
+        self.stats.times.local_exec = local_s
+        self.stats.times.remote_exec = remote_s
+        # Execution time is computed once from the run-wide counters,
+        # so the component leaves land on the query root (the wire
+        # components were charged per rpc/ship span as they happened).
+        self.stats.charge_span("local_exec", local_s)
+        self.stats.charge_span("remote_exec", remote_s)
+        self.actuals.local.sim_s += local_s
         return RunResult(items=items, stats=self.stats,
                          decomposition=self.decomposition,
                          messages=self.messages)

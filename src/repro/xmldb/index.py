@@ -32,8 +32,10 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from itertools import chain as _chain
+from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
+from repro.obs.metrics import GLOBAL_REGISTRY
 from repro.xmldb.node import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -316,6 +318,13 @@ def structural_index(doc: "Document") -> StructuralIndex:
     index = doc._structural_index
     if index is not None and index.epoch == doc.epoch:
         return index
+    started = perf_counter()
     index = StructuralIndex(doc)
     doc._structural_index = index
+    GLOBAL_REGISTRY.counter(
+        "index_builds_total", "lazy index constructions",
+        ("kind",)).labels("structural").inc()
+    GLOBAL_REGISTRY.counter(
+        "index_build_seconds_total", "wall seconds spent building indexes",
+        ("kind",)).labels("structural").inc(perf_counter() - started)
     return index

@@ -34,8 +34,10 @@ import threading
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from math import isnan
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterator
 
+from repro.obs.metrics import GLOBAL_REGISTRY
 from repro.xmldb.node import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -263,8 +265,15 @@ def value_index(doc: "Document") -> ValueIndex:
     index = doc._value_index
     if index is not None and index.epoch == doc.epoch:
         return index
+    started = perf_counter()
     index = ValueIndex(doc)
     doc._value_index = index
+    GLOBAL_REGISTRY.counter(
+        "index_builds_total", "lazy index constructions",
+        ("kind",)).labels("value").inc()
+    GLOBAL_REGISTRY.counter(
+        "index_build_seconds_total", "wall seconds spent building indexes",
+        ("kind",)).labels("value").inc(perf_counter() - started)
     return index
 
 

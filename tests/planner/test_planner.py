@@ -101,7 +101,7 @@ class TestPlanReports:
         estimates = [est for _label, est in plan.candidates]
         assert estimates == sorted(estimates)
         assert plan.strategy == labels[0]
-        assert "plan " in plan.explain
+        assert "plan " in plan.explain()
 
     def test_mixed_plan_beats_fixed_on_cross_query(self):
         federation = build_mixed_federation(0.01)
