@@ -111,6 +111,18 @@ class ClusterCatalog:
         self._epoch = 0
         self._collections: dict[str, CollectionSpec] = {}
         self._down: set[str] = set()
+        #: A :class:`~repro.obs.events.EventLog` installed by a fleet
+        #: monitor; every epoch bump emits into it when set.
+        self.events = None
+
+    def _emit_epoch(self, epoch: int, reason: str, **attrs) -> None:
+        """Emit an epoch-bump event (called with the lock released —
+        event sinks may take their own locks)."""
+        if self.events is not None:
+            self.events.emit("epoch_bump",
+                             f"catalog epoch -> {epoch} ({reason})",
+                             severity="info", epoch=epoch,
+                             reason=reason, **attrs)
 
     # -- membership ---------------------------------------------------------
 
@@ -126,6 +138,8 @@ class ClusterCatalog:
                     f"collection {spec.name!r} already registered")
             self._collections[spec.name] = spec
             self._epoch += 1
+            epoch = self._epoch
+        self._emit_epoch(epoch, "register", collection=spec.name)
 
     def replace(self, spec: CollectionSpec) -> None:
         """Swap a collection's layout (repartition / re-placement)."""
@@ -134,12 +148,16 @@ class ClusterCatalog:
                 raise ClusterError(f"unknown collection {spec.name!r}")
             self._collections[spec.name] = spec
             self._epoch += 1
+            epoch = self._epoch
+        self._emit_epoch(epoch, "replace", collection=spec.name)
 
     def drop(self, name: str) -> None:
         with self._lock:
             if self._collections.pop(name, None) is None:
                 raise ClusterError(f"unknown collection {name!r}")
             self._epoch += 1
+            epoch = self._epoch
+        self._emit_epoch(epoch, "drop", collection=name)
 
     def get(self, name: str) -> CollectionSpec:
         with self._lock:
@@ -162,16 +180,24 @@ class ClusterCatalog:
 
     def mark_down(self, peer_name: str) -> None:
         """Exclude ``peer_name`` from replica selection."""
+        epoch = None
         with self._lock:
             if peer_name not in self._down:
                 self._down.add(peer_name)
                 self._epoch += 1
+                epoch = self._epoch
+        if epoch is not None:
+            self._emit_epoch(epoch, "mark_down", peer=peer_name)
 
     def mark_up(self, peer_name: str) -> None:
+        epoch = None
         with self._lock:
             if peer_name in self._down:
                 self._down.discard(peer_name)
                 self._epoch += 1
+                epoch = self._epoch
+        if epoch is not None:
+            self._emit_epoch(epoch, "mark_up", peer=peer_name)
 
     def is_down(self, peer_name: str) -> bool:
         with self._lock:

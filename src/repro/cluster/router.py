@@ -49,6 +49,7 @@ scatter-gather caveat, documented rather than policed.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable
 
@@ -250,6 +251,13 @@ class ClusterRouter:
         federation = getattr(run, "federation", None)
         metrics = (federation.metrics if federation is not None
                    else MetricsRegistry())
+        # Continuous observability (None ⇒ disabled, zero extra work):
+        # the health tracker re-orders replica selection, the event log
+        # records failovers and skips.
+        monitor = getattr(federation, "monitor", None)
+        self.monitor = monitor
+        self.events = monitor.events if monitor is not None else None
+        self.health = monitor.health if monitor is not None else None
         self._scatter_calls = metrics.counter(
             "scatter_calls_total", "scatter fan-outs per collection",
             ("collection",))
@@ -264,15 +272,27 @@ class ClusterRouter:
     # -- replica selection --------------------------------------------------
 
     def replica_order(self, shard: ShardInfo) -> list[str]:
-        """Live replicas, least-loaded first (in-flight exchanges, then
-        total bytes served, then placement order as the deterministic
-        tie-break)."""
+        """Live replicas, healthy-then-least-loaded first.
+
+        The leading key is the fleet monitor's health standing (when a
+        monitor is attached): a *degrading* replica — alive, answering,
+        but demoted by its windowed score — sorts behind every healthy
+        one, so it stops receiving first-choice traffic before it ever
+        fails a request. Within a health bucket, order is the live load
+        (in-flight exchanges, then total bytes served, then placement
+        order as the deterministic tie-break). Demoted replicas stay in
+        the order: they are still the failover path of last resort.
+        """
         live = self.catalog.live_replicas(shard)
         loads = self.transport.peer_loads()
+        health = self.health
 
-        def load_key(peer: str) -> tuple[int, int, int]:
+        def load_key(peer: str) -> tuple[int, int, int, int]:
             in_flight, total_bytes = loads.get(peer, (0, 0))
-            return (in_flight, total_bytes, shard.replicas.index(peer))
+            demoted = (0 if health is None or health.healthy(peer)
+                       else 1)
+            return (demoted, in_flight, total_bytes,
+                    shard.replicas.index(peer))
 
         return sorted(live, key=load_key)
 
@@ -338,12 +358,22 @@ class ClusterRouter:
                     # The shard-local value index proved the member
                     # filter selects nothing here: the shard's
                     # contribution is exactly one empty sequence per
-                    # call, with no round trip at all.
+                    # call, with no round trip at all. ("skips" is the
+                    # numeric twin of the "skipped" flag — it survives
+                    # cross-query merging, where booleans OR.)
                     outcome.results = [[] for _ in calls]
                     outcome.stats.shards_skipped = 1
                     outcome.stats.per_shard[shard_key] = {
                         "bytes": 0, "messages": 0, "sim_s": 0.0,
-                        "cache_hits": 0, "failovers": 0, "skipped": True}
+                        "cache_hits": 0, "failovers": 0, "skips": 1,
+                        "skipped": True}
+                    if self.events is not None:
+                        self.events.emit(
+                            "shard_skip",
+                            f"shard {shard_key} skipped: value-index "
+                            f"probe proved the member filter empty",
+                            severity="info", collection=spec.name,
+                            shard=shard.index)
                     return outcome
                 # Scatter workers are fresh threads with no ambient
                 # span; the explicit parent hands them the tree.
@@ -356,13 +386,15 @@ class ClusterRouter:
                             shard_bodies[index],
                             cache_scope=shard_key, shard_epoch=epoch,
                             stats=outcome.stats,
-                            remote_counter=outcome.counter))
+                            remote_counter=outcome.counter),
+                        collection=spec.name)
                 outcome.stats.per_shard[shard_key] = {
                     "bytes": outcome.stats.total_transferred_bytes,
                     "messages": outcome.stats.messages,
                     "sim_s": outcome.stats.times.total,
                     "cache_hits": outcome.stats.cache_hits,
                     "failovers": outcome.failovers,
+                    "skips": 0,
                     "skipped": False,
                 }
                 return outcome
@@ -431,14 +463,15 @@ class ClusterRouter:
                             shard=shard.index,
                             collection=spec.name) as shard_span, \
                     bind_stats_span(outcome.stats, shard_span):
-                outcome.results = self._with_failover(shard, outcome,
-                                                      attempt)
+                outcome.results = self._with_failover(
+                    shard, outcome, attempt, collection=spec.name)
             outcome.stats.per_shard[shard_key] = {
                 "bytes": outcome.stats.total_transferred_bytes,
                 "messages": outcome.stats.messages,
                 "sim_s": outcome.stats.times.total,
                 "cache_hits": outcome.stats.cache_hits,
                 "failovers": outcome.failovers,
+                "skips": 0,
                 "skipped": False,
             }
             return outcome
@@ -536,19 +569,44 @@ class ClusterRouter:
         return shard.local_name
 
     def _with_failover(self, shard: ShardInfo, outcome: ScatterOutcome,
-                       attempt: Callable[[str], list]) -> list:
-        """Run ``attempt`` against replicas in load order; wire faults
-        fail over to the next replica (counted), query-level errors
-        propagate immediately."""
+                       attempt: Callable[[str], list],
+                       collection: str = "") -> list:
+        """Run ``attempt`` against replicas in health-then-load order;
+        wire faults fail over to the next replica (counted and, with a
+        monitor attached, event-logged), query-level errors propagate
+        immediately. Each attempt's wall time and outcome feed the
+        per-peer health windows."""
         order = self.replica_order(shard)
         last_error: NetworkError | None = None
+        health = self.health
         for position, replica in enumerate(order):
+            started = time.perf_counter() if health is not None else 0.0
             try:
-                return attempt(replica)
+                result = attempt(replica)
             except NetworkError as exc:
+                if health is not None:
+                    health.record(replica,
+                                  time.perf_counter() - started,
+                                  ok=False)
                 last_error = exc
                 if position + 1 < len(order):
                     outcome.failovers += 1
+                    if self.events is not None:
+                        self.events.emit(
+                            "failover",
+                            f"shard {collection}#s{shard.index}: "
+                            f"{replica} failed "
+                            f"({type(exc).__name__}), trying "
+                            f"{order[position + 1]}",
+                            severity="warning", collection=collection,
+                            shard=shard.index, replica=replica,
+                            next=order[position + 1])
+            else:
+                if health is not None:
+                    health.record(replica,
+                                  time.perf_counter() - started,
+                                  ok=True)
+                return result
         raise ClusterError(
             f"all {len(order)} replicas of shard {shard.index} "
             f"({', '.join(order)}) failed") from last_error

@@ -27,6 +27,30 @@ Figure 11   projection/serialisation overhead — the ``serialize``
             structural/value index work that replaced re-shredding.
 ==========  ==============================================================
 
+The paper's figures are steady-state aggregates; the *continuous*
+layer reads the same measurements over time:
+
+==============  ==========================================================
+over time       Figure 7/9's bytes and latency as rolling windows —
+                ``FleetMonitor.latency`` p50/p95/p99 per window
+                (:class:`RollingWindow` + :class:`QuantileSketch`),
+                ``RegistryWindows.rate("wire_message_bytes_total",
+                peer)`` for windowed wire throughput per peer.
+per peer        Figure 8's "who is slow" as live health — windowed
+                mean/p95 latency and error rate per replica
+                (:class:`HealthTracker`), scored against the fleet
+                baseline and fed back into replica selection.
+as objectives   Figure 9's latency target as an :class:`SLO` with
+                multi-window burn-rate alerting (:class:`SLOMonitor`).
+as events       the churn behind the numbers — failovers, epoch bumps,
+                cache invalidations, shard skips, calibration bumps —
+                in the typed :class:`EventLog` (JSONL export, instant
+                markers on Chrome traces).
+as profiles     Figure 8 folded across many queries: collapsed-stack
+                flamegraph output, sim- and wall-weighted
+                (:class:`Profiler`).
+==============  ==========================================================
+
 Modules:
 
 * :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-query
@@ -38,19 +62,38 @@ Modules:
   (:func:`dump_trace`, :func:`dump_chrome_trace`) plus the schema
   validator CI runs over captured traces;
 * :mod:`repro.obs.explain` — per-operator estimated-vs-actual
-  accounting behind ``RunStats.plan.explain(analyze=True)``.
+  accounting behind ``RunStats.plan.explain(analyze=True)``;
+* :mod:`repro.obs.windows` — rolling time-window aggregation with a
+  bounded-error quantile sketch;
+* :mod:`repro.obs.events` — the typed fleet event log;
+* :mod:`repro.obs.slo` — declarative SLOs with burn-rate alerting;
+* :mod:`repro.obs.health` — per-peer health scoring (the failure
+  detector the router's replica selection consults);
+* :mod:`repro.obs.profile` — the collapsed-stack sampling profiler;
+* :mod:`repro.obs.fleet` — :class:`FleetMonitor`, the one-call wiring
+  of all of the above into a federation;
+* :mod:`repro.obs.console` — :func:`render_fleet`, the snapshot text
+  console.
 """
 
+from repro.obs.console import render_fleet
+from repro.obs.events import Event, EventLog
 from repro.obs.explain import (ActualsBook, OpActual, OpAnalysis,
                                PlanAnalysis, render_analysis)
 from repro.obs.export import (chrome_trace_events, dump_chrome_trace,
                               dump_trace, render_tree, span_to_dict,
                               validate_chrome_trace)
+from repro.obs.fleet import FleetMonitor
+from repro.obs.health import HealthTracker, PeerHealth
 from repro.obs.metrics import (GLOBAL_REGISTRY, Counter, Gauge, Histogram,
                                MetricsRegistry, global_registry, percentile)
+from repro.obs.profile import Profiler, collapse_spans
+from repro.obs.slo import SLO, AlertState, BurnRatePolicy, SLOMonitor
 from repro.obs.trace import (COMPONENTS, NOOP_TRACER, NoopTracer, Span,
                              Tracer, bind_stats_span, child_span,
                              current_span)
+from repro.obs.windows import (QuantileSketch, RegistryWindows,
+                               RollingWindow, RollingWindowFamily)
 
 __all__ = [
     "ActualsBook", "OpActual", "OpAnalysis", "PlanAnalysis",
@@ -61,4 +104,11 @@ __all__ = [
     "MetricsRegistry", "global_registry", "percentile",
     "COMPONENTS", "NOOP_TRACER", "NoopTracer", "Span", "Tracer",
     "bind_stats_span", "child_span", "current_span",
+    "Event", "EventLog",
+    "QuantileSketch", "RegistryWindows", "RollingWindow",
+    "RollingWindowFamily",
+    "SLO", "AlertState", "BurnRatePolicy", "SLOMonitor",
+    "HealthTracker", "PeerHealth",
+    "Profiler", "collapse_spans",
+    "FleetMonitor", "render_fleet",
 ]

@@ -1,0 +1,148 @@
+"""Structured fleet events: a thread-safe bounded ring of typed records.
+
+Metrics say *how much*; events say *what happened and when*. The
+runtime emits one :class:`Event` per operationally interesting
+transition — a failover, a peer kill/recover, a catalog epoch bump, a
+cache invalidation sweep, a shard skipped by a probe, a query over the
+slow threshold, a calibration-book generation bump, an SLO alert
+firing or resolving — into one :class:`EventLog` owned by the fleet
+monitor. The log is a bounded deque (old events fall off; cumulative
+per-kind counts survive eviction), exports JSONL for CI artifacts,
+and timestamps every event on both clocks: wall (``time.time``, for
+humans reading the JSONL) and perf (``time.perf_counter``, the same
+clock spans use, so :func:`repro.obs.export.chrome_trace_events` can
+place events on the span timeline as instant markers).
+
+Event kinds emitted by the wired subsystems:
+
+========================  =====================================================
+kind                      emitted by
+========================  =====================================================
+``failover``              router retry after a replica raised ``NetworkError``
+``peer_down``             ``Transport.kill_peer`` / catalog ``mark_down``
+``peer_up``               ``Transport.revive_peer`` / catalog ``mark_up``
+``peer_degraded``         ``Transport.degrade_peer`` (latency injection)
+``peer_restored``         ``Transport.restore_peer``
+``epoch_bump``            catalog topology change (register/replace/drop/mark)
+``cache_invalidation``    ``ResultCache.invalidate_peer`` dropping entries
+``shard_skip``            router skipping a shard on an index/statistics probe
+``slow_query``            monitor: wall time over the slow threshold
+``calibration_bump``      planner feedback book advanced a generation
+``health_demoted``        health tracker score fell below the demote threshold
+``health_restored``       health tracker score recovered past restore threshold
+``alert_fired``           SLO burn-rate rule breached (once per breach)
+``alert_resolved``        burn rate fell back under the resolve ratio
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Event", "EventLog"]
+
+_SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Event:
+    """One typed occurrence in the fleet."""
+
+    seq: int                     # monotone per-log sequence number
+    wall_ts: float               # time.time() — for humans / JSONL
+    perf_s: float                # time.perf_counter() — span timeline
+    kind: str
+    message: str
+    severity: str = "info"
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "seq": self.seq,
+            "wall_ts": self.wall_ts,
+            "perf_s": self.perf_s,
+            "kind": self.kind,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`Event`.
+
+    ``capacity`` bounds memory: the ring keeps the newest events, and
+    :meth:`counts` keeps cumulative per-kind totals that survive
+    eviction (the soak test's "alert fired exactly once" is asserted
+    against the totals, not the ring). ``clock`` supplies ``perf_s``
+    timestamps and is injectable for deterministic tests.
+    """
+
+    def __init__(self, capacity: int = 1024, clock=time.perf_counter):
+        if capacity < 1:
+            raise ValueError(f"capacity {capacity} must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    def emit(self, kind: str, message: str, severity: str = "info",
+             **attrs) -> Event:
+        if severity not in _SEVERITIES:
+            raise ValueError(f"severity {severity!r} not in {_SEVERITIES}")
+        with self._lock:
+            event = Event(seq=next(self._seq), wall_ts=time.time(),
+                          perf_s=self.clock(), kind=kind, message=message,
+                          severity=severity, attrs=attrs)
+            self._ring.append(event)
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+        return event
+
+    # -- reads ----------------------------------------------------------------
+
+    def recent(self, n: int | None = None,
+               kind: str | None = None) -> list[Event]:
+        """The newest events, oldest first (``kind`` filters; ``n``
+        limits to the last n *after* filtering)."""
+        with self._lock:
+            events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        if n is not None:
+            events = events[-n:]
+        return events
+
+    def counts(self) -> dict[str, int]:
+        """Cumulative emissions per kind (survives ring eviction)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def count(self, kind: str) -> int:
+        with self._lock:
+            return self._counts.get(kind, 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [event.to_dict() for event in self.recent()]
+
+    def export_jsonl(self, path) -> int:
+        """Write the retained events as JSON Lines; returns the count."""
+        events = self.to_dicts()
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in events:
+                fh.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(events)

@@ -16,8 +16,19 @@ Two serialisations of one :class:`~repro.obs.trace.Span` tree:
   flame-graph blocks next to the wall-clock spans that charged it.
 
 :func:`validate_chrome_trace` checks the invariants the format needs
-(every event carries name/ph/pid/tid, non-negative ts/dur) — CI runs
-it over a freshly captured trace so the export cannot silently rot.
+(every event carries name/ph/pid/tid, non-negative ts; ``dur`` on
+complete events) — CI runs it over a freshly captured trace so the
+export cannot silently rot.
+
+Fleet events ride along: pass an iterable of
+:class:`~repro.obs.events.Event` (or an
+:class:`~repro.obs.events.EventLog`) to :func:`chrome_trace_events` /
+:func:`dump_chrome_trace` and each entry becomes an instant
+(``"ph": "i"``) marker on the timeline — failovers, epoch bumps and
+alerts visible next to the spans they interrupted. Events share the
+spans' ``perf_counter`` clock, so placement is exact; entries outside
+the root span's window are clamped to its edges (a marker slightly
+off-screen beats a marker silently dropped).
 """
 
 from __future__ import annotations
@@ -55,7 +66,8 @@ def dump_trace(span: Span, path) -> dict:
     return document
 
 
-def chrome_trace_events(span: Span, pid: int = 1) -> list[dict]:
+def chrome_trace_events(span: Span, pid: int = 1,
+                        events=None) -> list[dict]:
     """Flatten a span tree into Chrome trace events.
 
     Timestamps are microseconds relative to the root span's start.
@@ -64,10 +76,16 @@ def chrome_trace_events(span: Span, pid: int = 1) -> list[dict]:
     duration is the *simulated* seconds they carry (scaled to µs) —
     they start where their parent started, so the stack reads as "this
     much simulated work happened inside this span".
+
+    ``events`` (an iterable of :class:`~repro.obs.events.Event`, or an
+    :class:`~repro.obs.events.EventLog`) adds one instant ``ph: "i"``
+    marker per entry at its ``perf_s`` timestamp, clamped into the
+    root span's window.
     """
     origin = span.start_s
+    events_arg = events        # the local list below shadows the param
     tid_map: dict[int, int] = {}
-    events: list[dict] = []
+    events = []
 
     def tid_of(thread_id: int) -> int:
         tid = tid_map.get(thread_id)
@@ -102,14 +120,43 @@ def chrome_trace_events(span: Span, pid: int = 1) -> list[dict]:
             emit(child)
 
     emit(span)
+
+    if events_arg is not None:
+        entries = (events_arg.recent() if hasattr(events_arg, "recent")
+                   else list(events_arg))
+        end_us = max(0.0, (span.end_s - origin) * 1e6) \
+            if span.end_s is not None else None
+        for entry in entries:
+            ts = (entry.perf_s - origin) * 1e6
+            ts = max(0.0, ts)
+            if end_us is not None:
+                ts = min(ts, end_us)
+            args = {"message": entry.message, "seq": entry.seq,
+                    "severity": entry.severity}
+            for key, value in entry.attrs.items():
+                if isinstance(value, (str, int, float, bool)):
+                    args[key] = value
+            events.append({
+                "name": entry.kind,
+                "cat": "event",
+                "ph": "i",
+                "s": "p",           # process-scoped instant marker
+                "ts": round(ts, 3),
+                "pid": pid,
+                "tid": 1,
+                "args": args,
+            })
     return events
 
 
-def dump_chrome_trace(span: Span, path, pid: int = 1) -> dict:
+def dump_chrome_trace(span: Span, path, pid: int = 1,
+                      events=None) -> dict:
     """Write the Chrome trace-event JSON for ``span`` to ``path`` —
-    load it in ``chrome://tracing`` or https://ui.perfetto.dev."""
+    load it in ``chrome://tracing`` or https://ui.perfetto.dev.
+    ``events`` adds instant markers (see :func:`chrome_trace_events`).
+    """
     document = {
-        "traceEvents": chrome_trace_events(span, pid=pid),
+        "traceEvents": chrome_trace_events(span, pid=pid, events=events),
         "displayTimeUnit": "ms",
         "otherData": {"format": "repro-chrome-trace-v1"},
     }
@@ -123,8 +170,9 @@ def validate_chrome_trace(document: dict) -> list[str]:
     """Schema-check a Chrome trace document; returns the violations
     (empty list = valid). Checked invariants: a ``traceEvents`` list
     exists and is non-empty; every event has a ``name``, ``ph``,
-    ``pid`` and ``tid``; ``ts`` and ``dur`` are present, numeric and
-    non-negative for complete (``"X"``) events."""
+    ``pid``, ``tid`` and a non-negative numeric ``ts``; complete
+    (``"X"``) events additionally carry a non-negative ``dur``
+    (instant ``"i"`` markers have none by definition)."""
     problems: list[str] = []
     events = document.get("traceEvents")
     if not isinstance(events, list) or not events:
@@ -137,7 +185,8 @@ def validate_chrome_trace(document: dict) -> list[str]:
         for field in ("name", "ph", "pid", "tid"):
             if field not in event:
                 problems.append(f"{where}: missing {field!r}")
-        for field in ("ts", "dur"):
+        checked = ("ts", "dur") if event.get("ph") == "X" else ("ts",)
+        for field in checked:
             value = event.get(field)
             if not isinstance(value, (int, float)):
                 problems.append(f"{where}: {field!r} missing or "

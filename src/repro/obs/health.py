@@ -1,0 +1,189 @@
+"""Per-peer health scoring from windowed stats: the failure *detector*.
+
+``Transport.kill_peer`` makes a peer loudly dead — requests raise and
+the router fails over. The harder operational case is the *degrading*
+replica: still answering, but slower every second (GC thrash, noisy
+neighbour, saturated link). Nothing raises, so failover counts stay
+flat while tail latency climbs. This module is the precursor to
+ROADMAP item 5's failure detector: it watches per-peer rolling windows
+and produces a health score the :class:`~repro.cluster.router.ClusterRouter`
+consults in ``replica_order``, so selection de-prefers a degrading
+replica *before* it ever fails a request.
+
+Score model, per peer over the window:
+
+``score = (1 - error_rate) * latency_factor``
+
+where ``latency_factor`` is 1.0 while the peer's windowed mean latency
+stays within ``latency_tolerance``× the fleet baseline, and decays as
+``tolerance * baseline / mean`` beyond it. The baseline is the *lower
+median* of all peers' windowed means — a robust centre that an
+outlier cannot drag upward, so one degraded peer in a two-peer fleet
+still scores against the healthy peer's latency.
+
+Demotion has hysteresis: a peer is demoted when its score falls below
+``demote_below`` and restored only after recovering past the higher
+``restore_above``, so scores oscillating around one threshold cannot
+flap the routing order. Both transitions emit events.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs.events import EventLog
+from repro.obs.windows import RollingWindowFamily
+
+__all__ = ["PeerHealth", "HealthTracker"]
+
+
+@dataclass
+class PeerHealth:
+    """One peer's current standing."""
+
+    peer: str
+    score: float = 1.0
+    healthy: bool = True
+    samples: int = 0
+    error_rate: float = 0.0
+    mean_latency_s: float = 0.0
+    p95_latency_s: float = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "peer": self.peer,
+            "score": self.score,
+            "healthy": self.healthy,
+            "samples": self.samples,
+            "error_rate": self.error_rate,
+            "mean_latency_s": self.mean_latency_s,
+            "p95_latency_s": self.p95_latency_s,
+        }
+
+
+class HealthTracker:
+    """Scores peers from windowed latency/error observations.
+
+    ``record(peer, latency_s, ok)`` is the single ingest point (the
+    router calls it per attempt); reads recompute scores lazily from
+    the rolling windows, so a peer that stops receiving traffic ages
+    out as its buckets rotate away.
+    """
+
+    def __init__(self, events: EventLog | None = None,
+                 clock=time.monotonic, width_s: float = 1.0,
+                 buckets: int = 30, window_s: float | None = None,
+                 latency_tolerance: float = 3.0,
+                 demote_below: float = 0.5, restore_above: float = 0.8,
+                 min_samples: int = 3):
+        if not 0.0 < demote_below <= restore_above <= 1.0:
+            raise ValueError(
+                f"thresholds demote_below={demote_below} "
+                f"restore_above={restore_above} must satisfy "
+                "0 < demote <= restore <= 1")
+        if latency_tolerance < 1.0:
+            raise ValueError(
+                f"latency_tolerance {latency_tolerance} must be >= 1")
+        self.events = events
+        self.window_s = window_s
+        self.latency_tolerance = latency_tolerance
+        self.demote_below = demote_below
+        self.restore_above = restore_above
+        self.min_samples = min_samples
+        self._latency = RollingWindowFamily(width_s, buckets, clock,
+                                            eps=0.01)
+        self._errors = RollingWindowFamily(width_s, buckets, clock,
+                                           eps=None)
+        self._healthy: dict[str, bool] = {}
+
+    # -- ingest ---------------------------------------------------------------
+
+    def record(self, peer: str, latency_s: float, ok: bool = True) -> None:
+        """One attempt against ``peer``: its latency and outcome."""
+        self._latency.labels(peer).observe(latency_s)
+        self._errors.labels(peer).observe(0.0 if ok else 1.0)
+
+    # -- scoring --------------------------------------------------------------
+
+    def _windowed(self, peer: str) -> tuple[int, float, float, float]:
+        """(samples, mean latency, p95 latency, error rate) for peer."""
+        latency = self._latency.get(peer)
+        errors = self._errors.get(peer)
+        if latency is None:
+            return 0, 0.0, 0.0, 0.0
+        samples = latency.count(self.window_s)
+        if samples == 0:
+            return 0, 0.0, 0.0, 0.0
+        mean = latency.mean(self.window_s)
+        p95 = latency.quantile(95, self.window_s)
+        error_rate = 0.0
+        if errors is not None:
+            error_count = errors.count(self.window_s)
+            if error_count:
+                error_rate = errors.sum(self.window_s) / error_count
+        return samples, mean, p95, error_rate
+
+    def baseline(self) -> float:
+        """The fleet latency baseline: the lower median of per-peer
+        windowed means (robust to one degraded outlier)."""
+        means = sorted(
+            mean for _, mean, _, _ in
+            (self._windowed(peer) for peer in self._latency.names())
+            if mean > 0.0)
+        if not means:
+            return 0.0
+        return means[(len(means) - 1) // 2]
+
+    def health(self, peer: str) -> PeerHealth:
+        """Recompute ``peer``'s standing from the current windows,
+        applying demote/restore hysteresis (and emitting events on
+        transitions)."""
+        samples, mean, p95, error_rate = self._windowed(peer)
+        state = PeerHealth(peer=peer, samples=samples,
+                           error_rate=error_rate, mean_latency_s=mean,
+                           p95_latency_s=p95)
+        if samples < self.min_samples:
+            # Not enough evidence to indict: score stays 1.0 but the
+            # peer keeps any prior demotion until data clears it.
+            state.healthy = self._healthy.get(peer, True)
+            return state
+        latency_factor = 1.0
+        fleet = self.baseline()
+        if fleet > 0.0 and mean > self.latency_tolerance * fleet:
+            latency_factor = (self.latency_tolerance * fleet) / mean
+        state.score = max(0.0, (1.0 - error_rate) * latency_factor)
+
+        was_healthy = self._healthy.get(peer, True)
+        if was_healthy and state.score < self.demote_below:
+            self._healthy[peer] = False
+            if self.events is not None:
+                self.events.emit(
+                    "health_demoted",
+                    f"peer {peer}: score {state.score:.2f} below "
+                    f"{self.demote_below:g} (mean latency "
+                    f"{mean * 1000:.2f} ms vs fleet "
+                    f"{fleet * 1000:.2f} ms, errors "
+                    f"{error_rate:.0%})",
+                    severity="warning", peer=peer, score=state.score,
+                    mean_latency_s=mean, error_rate=error_rate)
+        elif not was_healthy and state.score > self.restore_above:
+            self._healthy[peer] = True
+            if self.events is not None:
+                self.events.emit(
+                    "health_restored",
+                    f"peer {peer}: score recovered to "
+                    f"{state.score:.2f}",
+                    severity="info", peer=peer, score=state.score)
+        state.healthy = self._healthy.get(peer, True)
+        return state
+
+    def healthy(self, peer: str) -> bool:
+        """Routing predicate: refreshes the score, returns standing."""
+        return self.health(peer).healthy
+
+    def peers(self) -> list[str]:
+        return self._latency.names()
+
+    def snapshot(self) -> list[dict]:
+        return [self.health(peer).snapshot() for peer in self.peers()]

@@ -171,6 +171,14 @@ class Histogram(_Series):
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 
 
+def _label_sort_key(item: tuple) -> tuple[str, ...]:
+    """Deterministic ordering for labeled children: compare label
+    values by their string form, so exports stay stable (and never
+    raise) even when one label mixes value types (peer names next to
+    shard indexes)."""
+    return tuple(str(part) for part in item[0])
+
+
 class LabeledMetric:
     """A family of series keyed by label values (``labels("peer1")`` or
     ``labels(peer="peer1")`` — positional follows the declared order)."""
@@ -275,6 +283,15 @@ class MetricsRegistry:
             entry = self._metrics.get(name)
         return entry[2] if entry is not None else None
 
+    def kinds(self) -> dict[str, str]:
+        """Name → kind ("counter"/"gauge"/"histogram") for every
+        registered metric — lets windowed consumers
+        (:class:`~repro.obs.windows.RegistryWindows`) pick the series
+        whose deltas are meaningful."""
+        with self._lock:
+            return {name: entry[0]
+                    for name, entry in self._metrics.items()}
+
     # -- the uniform read path ------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
@@ -293,7 +310,8 @@ class MetricsRegistry:
                     ",".join(str(part) for part in key):
                         (child.snapshot_value() if kind == "histogram"
                          else child.value)
-                    for key, child in sorted(series.items())
+                    for key, child in sorted(series.items(),
+                                             key=_label_sort_key)
                 }
             elif kind == "histogram":
                 out[name] = metric.snapshot_value()
@@ -303,7 +321,10 @@ class MetricsRegistry:
 
     def render_text(self) -> str:
         """A Prometheus-flavoured text rendering (for humans, examples
-        and benchmark logs — not a wire-format guarantee)."""
+        and benchmark logs — not a wire-format guarantee). Fully
+        deterministic: series are emitted in sorted name order and
+        labeled children in sorted (stringified) label order, so two
+        renderings of the same state diff cleanly in CI artifacts."""
         with self._lock:
             metrics = dict(self._metrics)
             helps = dict(self._help)
@@ -314,7 +335,8 @@ class MetricsRegistry:
                 lines.append(f"# HELP {name} {helps[name]}")
             lines.append(f"# TYPE {name} {kind}")
             if labels:
-                for key, child in sorted(metric.series().items()):
+                for key, child in sorted(metric.series().items(),
+                                         key=_label_sort_key):
                     pairs = ",".join(
                         f'{label}="{value}"'
                         for label, value in zip(labels, key))
@@ -324,6 +346,8 @@ class MetricsRegistry:
                                      f"{summary['count']}")
                         lines.append(f"{name}_sum{{{pairs}}} "
                                      f"{summary['sum']}")
+                        lines.append(f"{name}_p99{{{pairs}}} "
+                                     f"{summary['p99']}")
                     else:
                         lines.append(f"{name}{{{pairs}}} {child.value}")
             elif kind == "histogram":

@@ -1,0 +1,121 @@
+"""Folding span trees into collapsed-stack (flamegraph) profiles.
+
+A span tree answers "where did *this query* spend its time"; a profile
+answers "where does *the fleet* spend its time" by folding many trees
+into one weighted stack collection. The output format is the
+collapsed-stack convention every flamegraph renderer reads::
+
+    query;scatter;shard;rpc;network 1432
+
+— one line per unique root-to-frame path, weight in integer
+microseconds, ``;``-joined frame names.
+
+Two weightings, matching the two clocks the tracer keeps:
+
+* ``wall`` — each span's *self* wall time (its duration minus its
+  children's): where the real process waited. Component leaves are
+  excluded here; they share their parent's wall interval and would
+  double-count it.
+* ``sim`` — each component leaf's simulated seconds at its path: the
+  Figure 8 cost-model breakdown, attributed to the operator that spent
+  it. By the charge-follows-stats invariant, the folded ``sim`` total
+  equals ``sum(root.component_totals().values())`` exactly.
+
+:class:`Profiler` accumulates folds across queries (the fleet
+monitor's trace sampling feeds it every Nth span tree) and writes
+``*.folded`` files for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import Span
+
+__all__ = ["collapse_spans", "Profiler"]
+
+_US = 1_000_000
+
+
+def _fold(span: Span, prefix: str, weight: str,
+          out: dict[str, float]) -> None:
+    stack = f"{prefix};{span.name}" if prefix else span.name
+    if weight == "wall":
+        if span.kind == "component":
+            return  # shares the parent's wall interval
+        child_s = sum(child.duration_s for child in span.children
+                      if child.kind != "component")
+        self_s = max(0.0, span.duration_s - child_s)
+        if self_s > 0.0:
+            out[stack] = out.get(stack, 0.0) + self_s
+    else:  # sim
+        if span.kind == "component":
+            out[stack] = out.get(stack, 0.0) + span.attrs.get("sim_s", 0.0)
+            return
+    for child in span.children:
+        _fold(child, stack, weight, out)
+
+
+def collapse_spans(root: Span, weight: str = "wall") -> dict[str, float]:
+    """Fold one span tree into ``{stack: seconds}``.
+
+    ``weight="wall"`` attributes each span's self wall time to its
+    path; ``weight="sim"`` attributes each component leaf's simulated
+    seconds to its path (so the total equals the run's
+    ``RunStats.times`` sum by the charge invariant).
+    """
+    if weight not in ("wall", "sim"):
+        raise ValueError(f"weight {weight!r} not in ('wall', 'sim')")
+    out: dict[str, float] = {}
+    _fold(root, "", weight, out)
+    return out
+
+
+class Profiler:
+    """Accumulates collapsed stacks across many span trees.
+
+    Thread-safe; :meth:`record` is called once per sampled trace.
+    Weights are kept in float seconds internally and emitted as
+    integer microseconds (the collapsed-stack convention), so tiny
+    stacks only vanish at emission, not during accumulation.
+    """
+
+    def __init__(self):
+        self._stacks: dict[str, dict[str, float]] = {
+            "wall": {}, "sim": {}}
+        self.samples = 0
+        self._lock = threading.Lock()
+
+    def record(self, root: Span) -> None:
+        """Fold ``root`` under both weightings into the profile."""
+        wall = collapse_spans(root, "wall")
+        sim = collapse_spans(root, "sim")
+        with self._lock:
+            self.samples += 1
+            for stack, seconds in wall.items():
+                self._stacks["wall"][stack] = (
+                    self._stacks["wall"].get(stack, 0.0) + seconds)
+            for stack, seconds in sim.items():
+                self._stacks["sim"][stack] = (
+                    self._stacks["sim"].get(stack, 0.0) + seconds)
+
+    def stacks(self, weight: str = "wall") -> dict[str, float]:
+        with self._lock:
+            return dict(self._stacks[weight])
+
+    def folded(self, weight: str = "wall") -> str:
+        """The accumulated profile as collapsed-stack text (sorted by
+        stack for deterministic artifacts; weights in µs)."""
+        with self._lock:
+            stacks = sorted(self._stacks[weight].items())
+        return "\n".join(f"{stack} {round(seconds * _US)}"
+                         for stack, seconds in stacks)
+
+    def write_folded(self, path, weight: str = "wall") -> int:
+        """Write ``path`` in collapsed-stack format; returns the number
+        of stack lines."""
+        text = self.folded(weight)
+        with open(path, "w", encoding="utf-8") as fh:
+            if text:
+                fh.write(text + "\n")
+        return text.count("\n") + 1 if text else 0

@@ -237,6 +237,9 @@ class QueryPlanner:
         stats = result.stats
         if stats.cache_hits > 0:
             return
+        monitor = getattr(self.federation, "monitor", None)
+        generation_before = (self.calibration.generation()
+                             if monitor is not None else 0)
 
         # Message bytes, per destination: MessageLog carries the
         # observed per-peer truth; collection sites also answer for
@@ -294,6 +297,17 @@ class QueryPlanner:
         observed_exec = stats.times.local_exec + stats.times.remote_exec
         self.calibration.observe("exec", plan.origin, "",
                                  est_exec, observed_exec)
+
+        if monitor is not None:
+            generation = self.calibration.generation()
+            if generation != generation_before:
+                # A factor drifted past the bump threshold: cached
+                # plans priced under the old factors are now stale.
+                monitor.events.emit(
+                    "calibration_bump",
+                    f"calibration generation -> {generation} "
+                    f"(plan cache keys rotate)",
+                    severity="info", generation=generation)
 
     # -- introspection ------------------------------------------------------
 

@@ -109,10 +109,15 @@ class ResultCache:
     """
 
     def __init__(self, max_responses: int = 256, max_documents: int = 32,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 events=None):
         self.max_responses = max_responses
         self.max_documents = max_documents
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: A :class:`~repro.obs.events.EventLog`; invalidation sweeps
+        #: emit into it when set (the engine wires the federation
+        #: monitor's log through here).
+        self.events = events
         self._hits = self.metrics.counter(
             "cache_hits_total", "result-cache lookups served")
         self._misses = self.metrics.counter(
@@ -208,6 +213,13 @@ class ResultCache:
             self._responses.clear()
             if dropped:
                 self._invalidations.inc(dropped)
+        # Emit outside the lock: the event sink locks internally and
+        # must never nest inside cache-internal critical sections.
+        if dropped and self.events is not None:
+            self.events.emit(
+                "cache_invalidation",
+                f"store on {peer_name} dropped {dropped} cache entries",
+                severity="info", peer=peer_name, dropped=dropped)
 
     def attach(self, federation: "Federation") -> None:
         """Hook invalidation into every current peer's ``store`` (safe to

@@ -96,9 +96,13 @@ class FederationEngine:
         self._owns_cache = cache is True
         if cache is True:
             # An engine-owned cache publishes its cache_* series into
-            # the federation's registry, next to the wire_* truth.
+            # the federation's registry, next to the wire_* truth, and
+            # its invalidation sweeps into an attached fleet monitor's
+            # event log.
+            monitor = federation.monitor
             self.cache: ResultCache | None = ResultCache(
-                metrics=federation.metrics)
+                metrics=federation.metrics,
+                events=monitor.events if monitor is not None else None)
         elif cache is False:
             self.cache = None
         else:
@@ -226,6 +230,12 @@ class FederationEngine:
                  run_kwargs: dict) -> "RunResult":
         started = time.perf_counter()
         label = strategy_label(strategy)
+        monitor = self.federation.monitor
+        if (monitor is not None and "trace" not in run_kwargs
+                and monitor.should_sample_trace()):
+            # The fleet monitor's sampling profiler: trace every Nth
+            # query; an explicit trace= from the caller always wins.
+            run_kwargs = {**run_kwargs, "trace": True}
         with self._in_flight_lock:
             self._executing += 1
         try:

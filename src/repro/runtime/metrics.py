@@ -108,6 +108,7 @@ class MetricsAggregator:
         cache_saved = sum(r.stats.cache_saved_bytes for r in completed)
         scatter_shards = sum(r.stats.scatter_shards for r in completed)
         failovers = sum(r.stats.failovers for r in completed)
+        per_collection = self._per_collection(completed)
         plans: dict[str, int] = {}
         for record in completed:
             if record.plan is not None:
@@ -129,8 +130,36 @@ class MetricsAggregator:
             "cache_saved_bytes": cache_saved,
             "scatter_shards": scatter_shards,
             "failovers": failovers,
+            "per_collection": per_collection,
             "plans": plans,
         }
+
+    @staticmethod
+    def _per_collection(completed: list[QueryRecord]) -> dict[str, dict]:
+        """Cluster accounting re-attributed per collection: the global
+        ``failovers`` / ``shards_skipped`` totals say *that* the fleet
+        struggled; this view (parsed from the router's per-shard keys,
+        ``"collection#sN"``) says *where*, so the console and SLO rules
+        can name the collection. Sorted for deterministic export."""
+        per_collection: dict[str, dict] = {}
+        for record in completed:
+            for shard_key, entry in record.stats.per_shard.items():
+                collection = shard_key.rsplit("#s", 1)[0]
+                agg = per_collection.get(collection)
+                if agg is None:
+                    agg = per_collection[collection] = {
+                        "shard_calls": 0, "failovers": 0,
+                        "shards_skipped": 0, "bytes": 0,
+                        "cache_hits": 0}
+                agg["shard_calls"] += 1
+                agg["failovers"] += entry.get("failovers", 0)
+                # "skips" is the merge-safe numeric; fall back to the
+                # boolean flag for entries from before it existed.
+                agg["shards_skipped"] += entry.get(
+                    "skips", int(bool(entry.get("skipped"))))
+                agg["bytes"] += entry.get("bytes", 0)
+                agg["cache_hits"] += entry.get("cache_hits", 0)
+        return dict(sorted(per_collection.items()))
 
     def format_summary(self) -> str:
         """A short human-readable block for examples and benchmarks."""
@@ -153,4 +182,9 @@ class MetricsAggregator:
             lines.append(
                 f"cluster     : {summary['scatter_shards']} shard calls, "
                 f"{summary['failovers']} failovers")
+            for name, agg in summary["per_collection"].items():
+                lines.append(
+                    f"  {name}: {agg['shard_calls']} shard calls, "
+                    f"{agg['failovers']} failovers, "
+                    f"{agg['shards_skipped']} skipped")
         return "\n".join(lines)

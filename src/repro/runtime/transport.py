@@ -94,6 +94,12 @@ class Transport:
         self._lock = threading.Lock()
         self._gates: dict[str, threading.BoundedSemaphore] = {}
         self._down: set[str] = set()
+        #: Extra wall-clock latency injected per transmission to a peer
+        #: (:meth:`degrade_peer` — the "degrading, not dead" drill).
+        self._slow: dict[str, float] = {}
+        #: A :class:`~repro.obs.events.EventLog` installed by a fleet
+        #: monitor; peer lifecycle transitions emit into it when set.
+        self.events = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._wire_messages = self.metrics.counter(
             "wire_messages_total", "delivered SOAP messages", ("peer",))
@@ -171,15 +177,52 @@ class Transport:
         failover (contrast with :class:`SimulatedTransport`'s random
         fault plan)."""
         with self._lock:
+            was_down = peer_name in self._down
             self._down.add(peer_name)
+        if self.events is not None and not was_down:
+            self.events.emit("peer_down",
+                             f"peer {peer_name} killed on the wire",
+                             severity="error", peer=peer_name)
 
     def revive_peer(self, peer_name: str) -> None:
         with self._lock:
+            was_down = peer_name in self._down
             self._down.discard(peer_name)
+        if self.events is not None and was_down:
+            self.events.emit("peer_up", f"peer {peer_name} revived",
+                             severity="info", peer=peer_name)
 
     def is_down(self, peer_name: str) -> bool:
         with self._lock:
             return peer_name in self._down
+
+    def degrade_peer(self, peer_name: str,
+                     extra_latency_s: float) -> None:
+        """Inject fixed wall-clock latency into every transmission to
+        ``peer_name`` — the *degrading* (not dead) replica drill: the
+        peer keeps answering correctly, only slower, so nothing fails
+        over; catching it is the health detector's job."""
+        if extra_latency_s < 0:
+            raise ValueError(
+                f"extra_latency_s {extra_latency_s} must be >= 0")
+        with self._lock:
+            self._slow[peer_name] = extra_latency_s
+        if self.events is not None:
+            self.events.emit(
+                "peer_degraded",
+                f"peer {peer_name} degraded: "
+                f"+{extra_latency_s * 1000:.1f} ms per transmission",
+                severity="warning", peer=peer_name,
+                extra_latency_s=extra_latency_s)
+
+    def restore_peer(self, peer_name: str) -> None:
+        """Remove injected degradation latency (no-op if absent)."""
+        with self._lock:
+            was_slow = self._slow.pop(peer_name, None) is not None
+        if self.events is not None and was_slow:
+            self.events.emit("peer_restored",
+                             f"peer {peer_name} latency restored",
+                             severity="info", peer=peer_name)
 
     # -- per-peer admission -------------------------------------------------
 
@@ -220,6 +263,12 @@ class Transport:
         if gate is not None:
             gate.acquire()
         try:
+            if self._slow:
+                # Lock-free read: a racing degrade/restore only skews
+                # the injected delay of in-flight transmissions.
+                delay = self._slow.get(peer_name)
+                if delay:
+                    time.sleep(delay)
             self._transmit(peer_name, size)
         finally:
             if gate is not None:

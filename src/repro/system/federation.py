@@ -184,6 +184,11 @@ class Federation:
         self.catalog = catalog
         self._planner = planner
         self._planner_lock = threading.Lock()
+        #: The attached :class:`~repro.obs.fleet.FleetMonitor` (set by
+        #: ``monitor.attach(federation)``; None ⇒ continuous
+        #: observability off, at the cost of one attribute check per
+        #: query).
+        self.monitor = None
 
     @property
     def planner(self) -> QueryPlanner:
@@ -218,6 +223,10 @@ class Federation:
         resolved as sharded collections (scatter-gather) instead of
         peers from now on."""
         self.catalog = catalog
+        if self.monitor is not None and catalog.events is None:
+            # A monitor attached before the catalog existed still gets
+            # the catalog's epoch-bump events.
+            catalog.events = self.monitor.events
         return catalog
 
     def collection(self, host: str) -> CollectionSpec | None:
@@ -257,24 +266,41 @@ class Federation:
         root_ctx = (tracer.start("query", at=at,
                                  strategy=strategy_label(choice))
                     if tracer is not None else nullcontext())
+        started = time.perf_counter()
         with root_ctx:
             # Fixed strategies go through the same planner entry point
             # as auto: the plan cache then amortises decomposition +
             # lowering across a multi-tenant sweep of identical queries.
             with child_span("plan"):
-                planned = self.planner.plan(query, at=at, strategy=choice,
-                                            bulk_rpc=bulk_rpc,
-                                            code_motion=code_motion,
-                                            let_sinking=let_sinking,
-                                            transport=transport)
-            return self.execute(planned.decomposition, at,
-                                bulk_rpc=bulk_rpc,
-                                keep_message_xml=keep_message_xml,
-                                transport=transport,
-                                result_cache=result_cache,
-                                batcher=batcher, plan=planned.plan,
-                                report=planned.report,
-                                tracer=tracer)
+                try:
+                    planned = self.planner.plan(query, at=at,
+                                                strategy=choice,
+                                                bulk_rpc=bulk_rpc,
+                                                code_motion=code_motion,
+                                                let_sinking=let_sinking,
+                                                transport=transport)
+                except Exception:
+                    # Queries that die in parsing/planning are still
+                    # part of the fleet's error stream (execution
+                    # failures are recorded by execute() itself).
+                    if self.monitor is not None:
+                        self.monitor.record_query(
+                            time.perf_counter() - started, ok=False)
+                    raise
+            result = self.execute(planned.decomposition, at,
+                                  bulk_rpc=bulk_rpc,
+                                  keep_message_xml=keep_message_xml,
+                                  transport=transport,
+                                  result_cache=result_cache,
+                                  batcher=batcher, plan=planned.plan,
+                                  report=planned.report,
+                                  tracer=tracer)
+        # The root span closed when the context exited; only a closed
+        # tree folds into stable profiler stacks.
+        if (self.monitor is not None and tracer is not None
+                and tracer.root is not None):
+            self.monitor.observe_trace(tracer.root)
+        return result
 
     def execute(self, decomposition: DecompositionResult, at: str,
                 bulk_rpc: bool = True,
@@ -311,16 +337,24 @@ class Federation:
                                             bulk_rpc=bulk_rpc,
                                             transport=transport)
         root_ctx = nullcontext()
+        owns_root = False
         if trace and tracer is None:
             tracer = Tracer()
             root_ctx = tracer.start("query", at=at)
+            owns_root = True
         with root_ctx:
             run = _Run(self, decomposition, at, bulk_rpc,
                        keep_message_xml,
                        transport=transport, result_cache=result_cache,
                        batcher=batcher, plan=plan, tracer=tracer)
             started = time.perf_counter()
-            result = run.execute()
+            try:
+                result = run.execute()
+            except Exception:
+                if self.monitor is not None:
+                    self.monitor.record_query(
+                        time.perf_counter() - started, ok=False)
+                raise
             wall_s = time.perf_counter() - started
             base_report = report if report is not None else plan.report
             if base_report is None:
@@ -330,6 +364,8 @@ class Federation:
                 analysis=plan.build_analysis(run.actuals, result.stats,
                                              wall_s))
             self.planner.observe(plan, result)
+            if self.monitor is not None:
+                self.monitor.record_query(wall_s, ok=True)
             if tracer is not None and tracer.root is not None:
                 root = tracer.root
                 root.set(strategy=result.stats.plan.strategy,
@@ -337,7 +373,11 @@ class Federation:
                          rpc_calls=result.stats.rpc_calls,
                          cache_hits=result.stats.cache_hits)
                 result.trace = root
-            return result
+        if owns_root and self.monitor is not None \
+                and tracer.root is not None:
+            # Standalone execute(trace=True): the root closed here.
+            self.monitor.observe_trace(tracer.root)
+        return result
 
 
 class _Run:

@@ -1,0 +1,76 @@
+"""The typed event log: ring bounds, cumulative counts, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLog
+
+
+class TestEventLog:
+
+    def test_emit_and_recent(self):
+        log = EventLog()
+        log.emit("failover", "node2 failed, trying node3",
+                 severity="warning", shard="books-c#s1")
+        log.emit("peer_down", "node2 killed", severity="error")
+        events = log.recent()
+        assert [e.kind for e in events] == ["failover", "peer_down"]
+        assert events[0].attrs == {"shard": "books-c#s1"}
+        assert events[0].seq < events[1].seq
+
+    def test_recent_filters_then_limits(self):
+        log = EventLog()
+        for index in range(5):
+            log.emit("a", f"a{index}")
+            log.emit("b", f"b{index}")
+        recent = log.recent(n=2, kind="a")
+        assert [e.message for e in recent] == ["a3", "a4"]
+
+    def test_capacity_bounds_ring_but_not_counts(self):
+        log = EventLog(capacity=3)
+        for index in range(10):
+            log.emit("tick", f"t{index}")
+        assert len(log) == 3
+        assert [e.message for e in log.recent()] == ["t7", "t8", "t9"]
+        # Cumulative counts survive eviction: the soak test's
+        # "fired exactly once" is asserted against these.
+        assert log.count("tick") == 10
+        assert log.counts() == {"tick": 10}
+
+    def test_severity_validated(self):
+        log = EventLog()
+        with pytest.raises(ValueError):
+            log.emit("kind", "msg", severity="critical")
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+    def test_injected_clock_stamps_perf_s(self):
+        log = EventLog(clock=lambda: 42.5)
+        event = log.emit("tick", "t")
+        assert event.perf_s == 42.5
+        assert event.wall_ts > 0  # wall clock is always real time
+
+    def test_to_dicts_shape(self):
+        log = EventLog()
+        log.emit("failover", "msg", severity="warning", replica="node2")
+        (entry,) = log.to_dicts()
+        assert entry["kind"] == "failover"
+        assert entry["severity"] == "warning"
+        assert entry["attrs"] == {"replica": "node2"}
+        assert {"seq", "wall_ts", "perf_s", "message"} <= set(entry)
+
+    def test_export_jsonl(self, tmp_path):
+        log = EventLog()
+        log.emit("epoch_bump", "catalog epoch -> 2", epoch=2)
+        log.emit("shard_skip", "skipped s3")
+        path = tmp_path / "events.jsonl"
+        assert log.export_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["kind"] == "epoch_bump"
+        assert parsed[0]["attrs"]["epoch"] == 2
+        assert parsed[1]["kind"] == "shard_skip"

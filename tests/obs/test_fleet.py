@@ -1,0 +1,190 @@
+"""The fleet monitor: wiring, query recording, trace sampling, and the
+text console."""
+
+import pytest
+
+from repro.decompose import Strategy
+from repro.obs import SLO, BurnRatePolicy, FleetMonitor, render_fleet
+from repro.runtime import FederationEngine
+
+from tests.cluster.conftest import make_cluster
+from tests.obs.test_windows import FakeClock
+
+SCAN = ('doc("xrpc://books-c/books.xml")'
+        "/child::library/child::books/child::book/child::title")
+
+
+class TestFleetMonitorWiring:
+
+    def test_attach_wires_every_surface(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        assert cluster.monitor is monitor
+        assert cluster.transport.events is monitor.events
+        assert cluster.catalog.events is monitor.events
+        assert monitor.registry_windows is not None
+        assert monitor.registry_windows.registry is cluster.metrics
+
+    def test_unmonitored_federation_stays_unwired(self):
+        cluster = make_cluster()
+        assert cluster.monitor is None
+        assert cluster.transport.events is None
+        result = cluster.run(SCAN, at="local",
+                             strategy=Strategy.BY_PROJECTION)
+        assert len(result.items) == 10
+
+    def test_kill_and_revive_emit_events(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        cluster.transport.kill_peer("node2")
+        cluster.transport.kill_peer("node2")  # no-op: already down
+        cluster.transport.revive_peer("node2")
+        assert monitor.events.count("peer_down") == 1
+        assert monitor.events.count("peer_up") == 1
+
+    def test_degrade_and_restore_emit_events(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        with pytest.raises(ValueError):
+            cluster.transport.degrade_peer("node2", -1.0)
+        cluster.transport.degrade_peer("node2", 0.001)
+        cluster.transport.restore_peer("node2")
+        cluster.transport.restore_peer("node2")  # no-op: not slow
+        assert monitor.events.count("peer_degraded") == 1
+        assert monitor.events.count("peer_restored") == 1
+
+    def test_catalog_changes_emit_epoch_bumps(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        cluster.catalog.mark_down("node2")
+        cluster.catalog.mark_down("node2")  # no transition, no epoch
+        cluster.catalog.mark_up("node2")
+        bumps = monitor.events.recent(kind="epoch_bump")
+        assert [e.attrs["reason"] for e in bumps] == ["mark_down",
+                                                     "mark_up"]
+        assert all(e.attrs["peer"] == "node2" for e in bumps)
+
+
+class TestQueryRecording:
+
+    def test_record_query_feeds_windows_and_slo(self):
+        clock = FakeClock()
+        monitor = FleetMonitor(clock=clock)
+        monitor.add_slo(SLO(name="lat", target=0.9, threshold_s=0.05),
+                        BurnRatePolicy(long_s=10.0, short_s=1.0,
+                                       threshold=5.0, min_requests=5))
+        for _ in range(10):
+            monitor.record_query(0.2, ok=True)
+        assert monitor.latency.count() == 10
+        assert monitor.error_rate() == 0.0
+        assert monitor.events.count("alert_fired") == 1
+        monitor.record_query(0.2, ok=False)
+        assert monitor.error_rate() == pytest.approx(1 / 11)
+
+    def test_slow_query_event_has_threshold(self):
+        monitor = FleetMonitor(clock=FakeClock(), slow_query_s=0.1)
+        monitor.record_query(0.05)
+        monitor.record_query(0.5)
+        monitor.record_query(0.5, ok=False)  # failures are not "slow"
+        assert monitor.events.count("slow_query") == 1
+        (event,) = monitor.events.recent(kind="slow_query")
+        assert event.attrs["wall_s"] == 0.5
+
+    def test_should_sample_trace_cadence(self):
+        monitor = FleetMonitor(clock=FakeClock(), profile_every=3)
+        decisions = [monitor.should_sample_trace() for _ in range(9)]
+        assert decisions == [False, False, True] * 3
+        off = FleetMonitor(clock=FakeClock())
+        assert not any(off.should_sample_trace() for _ in range(10))
+
+    def test_snapshot_is_plain_data(self):
+        monitor = FleetMonitor(clock=FakeClock())
+        monitor.record_query(0.01)
+        snap = monitor.snapshot()
+        assert snap["queries"]["count"] == 1
+        assert snap["error_rate"] == 0.0
+        assert snap["profile_samples"] == 0
+        assert isinstance(snap["peers"], list)
+        assert isinstance(snap["slos"], list)
+
+    def test_federation_run_records_queries(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        cluster.run(SCAN, at="local", strategy=Strategy.BY_PROJECTION)
+        assert monitor.latency.count() == 1
+        assert monitor.error_rate() == 0.0
+
+    def test_failed_run_records_an_error(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        with pytest.raises(Exception):
+            cluster.run("doc(", at="local",
+                        strategy=Strategy.BY_PROJECTION)
+        assert monitor.latency.count() == 1
+        assert monitor.error_rate() == 1.0
+
+    def test_engine_samples_traces_into_profiler(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor(profile_every=2).attach(cluster)
+        with FederationEngine(cluster, max_workers=2) as engine:
+            futures = [engine.submit(SCAN, at="local") for _ in range(6)]
+            for future in futures:
+                future.result()
+        assert monitor.profiler.samples == 3
+        assert monitor.profiler.stacks("sim")  # non-empty fold
+
+    def test_explicit_trace_also_feeds_profiler(self):
+        cluster = make_cluster()
+        monitor = FleetMonitor().attach(cluster)
+        cluster.run(SCAN, at="local", strategy=Strategy.BY_PROJECTION,
+                    trace=True)
+        assert monitor.profiler.samples == 1
+
+
+class TestConsole:
+
+    def test_render_empty_monitor(self):
+        monitor = FleetMonitor(clock=FakeClock())
+        text = render_fleet(monitor)
+        assert text.startswith("== fleet @ 0.0s up | 0 queries")
+        assert "peers:" not in text
+        assert "alerts:" not in text
+        assert "events" not in text
+
+    def test_render_full_fleet(self):
+        clock = FakeClock()
+        monitor = FleetMonitor(clock=clock)
+        monitor.add_slo(SLO(name="lat", target=0.9, threshold_s=0.05),
+                        BurnRatePolicy(long_s=10.0, short_s=1.0,
+                                       threshold=5.0, min_requests=5))
+        for _ in range(10):
+            monitor.record_query(0.2)
+            monitor.health.record("node1", 0.001)
+            monitor.health.record("node2", 0.100)
+        text = render_fleet(monitor)
+        assert "10 queries" in text
+        assert "latency     : p50" in text
+        assert "node1  OK" in text
+        assert "node2  DEGRADED" in text
+        assert "FIRING lat:" in text
+        assert "(fired 1x)" in text
+        assert "[error] alert_fired" in text
+
+    def test_render_is_deterministic(self):
+        clock = FakeClock()
+        monitor = FleetMonitor(clock=clock)
+        monitor.record_query(0.01)
+        monitor.health.record("b", 0.001)
+        monitor.health.record("a", 0.001)
+        assert render_fleet(monitor) == render_fleet(monitor)
+        # Peers render sorted by name regardless of arrival order.
+        text = render_fleet(monitor)
+        assert text.index("  a ") < text.index("  b ")
+
+    def test_recent_events_limit(self):
+        monitor = FleetMonitor(clock=FakeClock())
+        for index in range(12):
+            monitor.events.emit("tick", f"t{index}")
+        text = render_fleet(monitor, recent_events=3)
+        assert "events (last 3 of 12):" in text
+        assert "t11" in text and "t8" not in text

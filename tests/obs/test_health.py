@@ -1,0 +1,137 @@
+"""Per-peer health scoring: baselines, demotion hysteresis, events."""
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.health import HealthTracker
+
+from tests.obs.test_windows import FakeClock
+
+
+def make_tracker(**kwargs):
+    clock = FakeClock()
+    events = EventLog(clock=clock)
+    tracker = HealthTracker(events=events, clock=clock, **kwargs)
+    return tracker, events, clock
+
+
+def feed(tracker, peer, latency_s, n=5, ok=True):
+    for _ in range(n):
+        tracker.record(peer, latency_s, ok=ok)
+
+
+class TestHealthScoring:
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            HealthTracker(demote_below=0.9, restore_above=0.5)
+        with pytest.raises(ValueError):
+            HealthTracker(latency_tolerance=0.5)
+
+    def test_fresh_peer_is_healthy(self):
+        tracker, _, _ = make_tracker()
+        assert tracker.healthy("never-seen")
+        state = tracker.health("never-seen")
+        assert state.score == 1.0
+        assert state.samples == 0
+
+    def test_uniform_fleet_scores_full(self):
+        tracker, events, _ = make_tracker()
+        for peer in ("node1", "node2", "node3"):
+            feed(tracker, peer, 0.001)
+        for peer in ("node1", "node2", "node3"):
+            assert tracker.health(peer).score == 1.0
+            assert tracker.healthy(peer)
+        assert events.counts() == {}
+
+    def test_degrading_peer_is_demoted(self):
+        """A slow-but-answering replica is demoted on latency alone —
+        the case failover counting can never catch."""
+        tracker, events, _ = make_tracker()
+        feed(tracker, "node1", 0.001)
+        feed(tracker, "node2", 0.050)  # 50x the fleet baseline
+        feed(tracker, "node3", 0.001)
+        state = tracker.health("node2")
+        # latency_factor = 3 * 0.001 / 0.050 = 0.06
+        assert state.score == pytest.approx(0.06, rel=0.05)
+        assert not state.healthy
+        assert not tracker.healthy("node2")
+        assert events.count("health_demoted") == 1
+        assert tracker.healthy("node1")
+        assert tracker.healthy("node3")
+
+    def test_lower_median_baseline_resists_the_outlier(self):
+        """Two-peer fleet: the degraded peer must not drag the
+        baseline up and excuse itself."""
+        tracker, _, _ = make_tracker()
+        feed(tracker, "good", 0.001)
+        feed(tracker, "bad", 0.100)
+        # Lower median of [0.001, 0.100] is 0.001, not the midpoint.
+        assert tracker.baseline() == pytest.approx(0.001)
+        assert not tracker.healthy("bad")
+        assert tracker.healthy("good")
+
+    def test_error_rate_lowers_score(self):
+        tracker, events, _ = make_tracker()
+        feed(tracker, "node1", 0.001, n=10)
+        feed(tracker, "node2", 0.001, n=4, ok=True)
+        feed(tracker, "node2", 0.001, n=6, ok=False)
+        state = tracker.health("node2")
+        assert state.error_rate == pytest.approx(0.6)
+        assert state.score == pytest.approx(0.4)
+        assert not state.healthy
+        assert events.count("health_demoted") == 1
+
+    def test_min_samples_keeps_prior_standing(self):
+        tracker, _, clock = make_tracker(min_samples=3, buckets=5)
+        feed(tracker, "node1", 0.001, n=10)
+        feed(tracker, "node2", 0.100, n=10)
+        assert not tracker.healthy("node2")
+        # Its traffic ages out: 1 fresh sample is not enough evidence
+        # to clear the demotion.
+        clock.advance(10.0)
+        tracker.record("node2", 0.001)
+        state = tracker.health("node2")
+        assert state.samples == 1
+        assert not state.healthy
+
+    def test_restore_needs_hysteresis_margin(self):
+        tracker, events, clock = make_tracker(buckets=5)
+        feed(tracker, "node1", 0.001, n=20)
+        feed(tracker, "node2", 0.100, n=10)
+        assert not tracker.healthy("node2")
+        # Recovery: the old slow samples age out, fresh fast traffic
+        # replaces them, and the peer is restored (score > 0.8).
+        clock.advance(10.0)
+        feed(tracker, "node1", 0.001, n=20)
+        feed(tracker, "node2", 0.001, n=10)
+        assert tracker.healthy("node2")
+        assert events.count("health_restored") == 1
+        assert events.count("health_demoted") == 1
+
+    def test_score_oscillation_does_not_flap_events(self):
+        """Scores wobbling between demote (0.5) and restore (0.8)
+        thresholds must not emit repeated transitions."""
+        tracker, events, _ = make_tracker()
+        feed(tracker, "node1", 0.001, n=20)
+        feed(tracker, "node2", 0.001, n=4, ok=True)
+        feed(tracker, "node2", 0.001, n=6, ok=False)  # score 0.4
+        assert not tracker.healthy("node2")
+        # More good traffic lifts the score into the dead band
+        # (0.5 < score < 0.8): still demoted, no new events.
+        feed(tracker, "node2", 0.001, n=10, ok=True)
+        state = tracker.health("node2")
+        assert 0.5 < state.score < 0.8
+        assert not state.healthy
+        for _ in range(5):
+            tracker.health("node2")
+        assert events.count("health_demoted") == 1
+        assert events.count("health_restored") == 0
+
+    def test_snapshot_lists_all_peers(self):
+        tracker, _, _ = make_tracker()
+        feed(tracker, "b", 0.001)
+        feed(tracker, "a", 0.001)
+        snap = tracker.snapshot()
+        assert [entry["peer"] for entry in snap] == ["a", "b"]
+        assert all(entry["healthy"] for entry in snap)

@@ -152,3 +152,51 @@ class TestRegistry:
         counter = registry.counter("thing_total")
         assert registry.get("thing_total") is counter
         assert registry.get("absent") is None
+
+    def test_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        registry.gauge("g")
+        registry.histogram("h")
+        assert registry.kinds() == {"c_total": "counter", "g": "gauge",
+                                    "h": "histogram"}
+
+    def test_mixed_type_labels_render_without_raising(self):
+        """Series whose label values mix strings and integers (peer
+        names next to shard indexes) must sort by string form, not
+        raise TypeError on comparison."""
+        registry = MetricsRegistry()
+        metric = registry.counter("calls_total", labels=("shard",))
+        metric.labels(2).inc(1)
+        metric.labels("node1").inc(2)
+        metric.labels(10).inc(3)
+        text = registry.render_text()
+        # Stringified sort: "10" < "2" < "node1".
+        assert (text.index('shard="10"') < text.index('shard="2"')
+                < text.index('shard="node1"'))
+        snap = registry.snapshot()
+        assert list(snap["calls_total"]) == ["10", "2", "node1"]
+
+    def test_render_text_is_deterministic(self):
+        def build(order):
+            registry = MetricsRegistry()
+            registry.counter("z_total").inc(1)
+            registry.histogram("lat", labels=("peer",))
+            metric = registry.counter("by_peer_total", labels=("peer",))
+            for peer in order:
+                registry.get("lat").labels(peer).observe(0.5)
+                metric.labels(peer).inc(1)
+            return registry.render_text()
+
+        first = build(["b", "a", "c"])
+        second = build(["c", "b", "a"])
+        assert first == second
+        # Labeled histograms expose the p99 series per child.
+        assert 'lat_p99{peer="a"}' in first
+
+    def test_snapshot_orders_labeled_children(self):
+        registry = MetricsRegistry()
+        metric = registry.counter("x_total", labels=("peer",))
+        metric.labels("zeta").inc(1)
+        metric.labels("alpha").inc(2)
+        assert list(registry.snapshot()["x_total"]) == ["alpha", "zeta"]

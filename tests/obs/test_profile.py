@@ -1,0 +1,139 @@
+"""Collapsed-stack profiles: wall self-time folding, the sim-weight
+charge invariant, and the flamegraph file format."""
+
+import math
+
+import pytest
+
+from repro.obs.profile import Profiler, collapse_spans
+from repro.obs.trace import Span
+
+from tests.cluster.conftest import make_cluster
+
+SCAN = ('doc("xrpc://books-c/books.xml")'
+        "/child::library/child::books/child::book/child::title")
+
+
+def span(name, start, end, parent=None, kind="span", **attrs):
+    """A closed span with explicit timestamps (the constructor stamps
+    the live clock, which these folding tests must control)."""
+    node = Span(name, kind=kind)
+    node.start_s = start
+    node.end_s = end
+    node.attrs.update(attrs)
+    if parent is not None:
+        parent.add_child(node)
+    return node
+
+
+def make_tree():
+    """A hand-built closed span tree with known self times:
+
+        root [0, 10]
+          child_a [1, 4]      (self 3, no children)
+          child_b [5, 9]      (self 4 - 2 = 2)
+            grand [6, 8]      (self 2)
+          <component leaves: network 0.5, serialize 0.25>
+    """
+    root = span("root", 0.0, 10.0)
+    span("child_a", 1.0, 4.0, parent=root)
+    b = span("child_b", 5.0, 9.0, parent=root)
+    span("grand", 6.0, 8.0, parent=b)
+    span("network", 9.0, 9.0, parent=root, kind="component", sim_s=0.5)
+    span("serialize", 9.0, 9.0, parent=root, kind="component",
+         sim_s=0.25)
+    return root
+
+
+class TestCollapseSpans:
+
+    def test_weight_validated(self):
+        with pytest.raises(ValueError):
+            collapse_spans(make_tree(), weight="cpu")
+
+    def test_wall_folding_is_self_time(self):
+        stacks = collapse_spans(make_tree(), weight="wall")
+        assert stacks == {
+            # Component leaves share root's interval: root's self time
+            # excludes only the real children (3 + 4 = 7 of 10).
+            "root": pytest.approx(3.0),
+            "root;child_a": pytest.approx(3.0),
+            "root;child_b": pytest.approx(2.0),
+            "root;child_b;grand": pytest.approx(2.0),
+        }
+
+    def test_wall_total_equals_root_duration(self):
+        stacks = collapse_spans(make_tree(), weight="wall")
+        assert math.fsum(stacks.values()) == pytest.approx(10.0)
+
+    def test_sim_folding_charges_component_leaves(self):
+        stacks = collapse_spans(make_tree(), weight="sim")
+        assert stacks == {
+            "root;network": pytest.approx(0.5),
+            "root;serialize": pytest.approx(0.25),
+        }
+
+    def test_sim_fold_total_matches_component_totals_on_real_run(self):
+        """Acceptance tie-in: folding a real traced run under the sim
+        weighting reproduces ``Span.component_totals()`` (and therefore
+        ``RunStats.times``) exactly."""
+        cluster = make_cluster()
+        result = cluster.run(SCAN, at="local", strategy="by-projection",
+                             trace=True)
+        root = result.trace
+        stacks = collapse_spans(root, weight="sim")
+        folded_total = math.fsum(stacks.values())
+        charge_total = math.fsum(root.component_totals().values())
+        assert folded_total == pytest.approx(charge_total, abs=1e-12)
+        assert folded_total == pytest.approx(result.stats.times.total,
+                                             abs=1e-9)
+
+    def test_negative_self_time_clamped(self):
+        # Children overlapping past the parent's end (clock jitter)
+        # must not produce negative weights.
+        root = span("root", 0.0, 3.0)
+        span("child", 0.0, 5.0, parent=root)
+        stacks = collapse_spans(root, weight="wall")
+        assert "root" not in stacks  # zero self time drops the line
+        assert stacks["root;child"] == pytest.approx(5.0)
+
+
+class TestProfiler:
+
+    def test_accumulates_across_trees(self):
+        profiler = Profiler()
+        profiler.record(make_tree())
+        profiler.record(make_tree())
+        assert profiler.samples == 2
+        assert profiler.stacks("wall")["root;child_a"] == pytest.approx(
+            6.0)
+        assert profiler.stacks("sim")["root;network"] == pytest.approx(
+            1.0)
+
+    def test_folded_format(self):
+        profiler = Profiler()
+        profiler.record(make_tree())
+        lines = profiler.folded("wall").splitlines()
+        # Sorted by stack; integer microsecond weights.
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack
+            assert weight == str(int(weight))
+        assert "root;child_a 3000000" in lines
+
+    def test_write_folded(self, tmp_path):
+        profiler = Profiler()
+        profiler.record(make_tree())
+        path = tmp_path / "profile.folded"
+        count = profiler.write_folded(path, weight="sim")
+        text = path.read_text()
+        assert count == 2
+        assert len(text.splitlines()) == 2
+        assert text.endswith("\n")
+
+    def test_empty_profile_writes_empty_file(self, tmp_path):
+        profiler = Profiler()
+        path = tmp_path / "empty.folded"
+        assert profiler.write_folded(path) == 0
+        assert path.read_text() == ""

@@ -249,6 +249,46 @@ class TestExport:
         dump_chrome_trace(result.trace, path)
         assert load_and_validate(path) == []
 
+    def test_event_log_entries_become_instant_markers(self, tmp_path):
+        from repro.obs.events import EventLog
+
+        result = self.traced_run()
+        root = result.trace
+        log = EventLog()
+        # One event inside the root's window, one before, one after:
+        # the out-of-window timestamps clamp into [0, root duration].
+        log.clock = lambda: (root.start_s + root.end_s) / 2
+        log.emit("failover", "mid-run", severity="warning",
+                 replica="node2")
+        log.clock = lambda: root.start_s - 5.0
+        log.emit("peer_down", "before the run")
+        log.clock = lambda: root.end_s + 5.0
+        log.emit("peer_up", "after the run")
+
+        events = chrome_trace_events(root, events=log)
+        instants = [e for e in events if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == ["failover", "peer_down",
+                                                "peer_up"]
+        # The exporter rounds timestamps to 3 decimals, so compare
+        # against the same rounding.
+        end_us = round((root.end_s - root.start_s) * 1e6, 3)
+        for instant in instants:
+            assert instant["cat"] == "event"
+            assert instant["s"] == "p"
+            assert 0.0 <= instant["ts"] <= end_us
+        assert instants[1]["ts"] == 0.0
+        assert instants[2]["ts"] == round(end_us, 3)
+        assert instants[0]["args"]["message"] == "mid-run"
+        assert instants[0]["args"]["replica"] == "node2"
+        # Instant markers pass the validator (no 'dur' required).
+        assert validate_chrome_trace({"traceEvents": events}) == []
+        path = tmp_path / "with_events.json"
+        dump_chrome_trace(root, path, events=log)
+        assert load_and_validate(path) == []
+        # A bare iterable of Event works too (no EventLog required).
+        subset = chrome_trace_events(root, events=log.recent(1))
+        assert [e["name"] for e in subset if e["ph"] == "i"] == ["peer_up"]
+
     def test_validate_reports_problems(self):
         assert validate_chrome_trace({}) == ["traceEvents missing or empty"]
         bad = {"traceEvents": [{"name": "x", "ph": "X", "pid": 1,
