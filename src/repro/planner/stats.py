@@ -268,6 +268,10 @@ class DocumentStats:
     elements: int                # element nodes only
     tags: Mapping[str, TagStat]  # name / "@name" / "#text" buckets
     values: Mapping[str, ValueHistogram] | None = None
+    #: Exact physical bytes of the document's typed columns (the spill
+    #: format's sizes — see ``ColumnSet.column_byte_sizes``); sums over
+    #: shards for a collection view.
+    column_bytes: int = 0
 
     def tag(self, name: str) -> TagStat | None:
         return self.tags.get(name)
@@ -374,7 +378,8 @@ def compute_document_stats(document: "Document", uri: str,
              else approx_total)
     values = build_value_histograms(document) if with_values else None
     return DocumentStats(uri=uri, serialized_bytes=total, nodes=count,
-                         elements=elements, tags=tags, values=values)
+                         elements=elements, tags=tags, values=values,
+                         column_bytes=document.column_bytes())
 
 
 def merge_document_stats(parts: list[DocumentStats],
@@ -402,6 +407,7 @@ def merge_document_stats(parts: list[DocumentStats],
         elements=sum(p.elements for p in parts),
         tags=tags,
         values=values,
+        column_bytes=sum(p.column_bytes for p in parts),
     )
 
 
@@ -549,6 +555,7 @@ class StatsCatalog:
                 "documents": {
                     f"{host}/{name}": {
                         "serialized_bytes": stats.serialized_bytes,
+                        "column_bytes": stats.column_bytes,
                         "elements": stats.elements,
                         "nodes": stats.nodes,
                     }

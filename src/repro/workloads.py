@@ -73,6 +73,37 @@ def build_federation(scale: float, seed: int = 20090329,
     return federation
 
 
+def build_spilled_federation(scale: float, directory,
+                             seed: int = 20090329,
+                             budget_bytes: int | None = None,
+                             cost_model: CostModel | None = None
+                             ) -> Federation:
+    """:func:`build_federation`, but both documents are staged as
+    XCOL1 spill files in ``directory`` and served through the mmap
+    buffer pool under ``budget_bytes`` (default
+    :data:`repro.xmldb.pool.DEFAULT_POOL_BYTES`) — the
+    larger-than-memory testbed. Queries, strategies and results are
+    identical to the in-memory federation at the same ``(scale,
+    seed)``.
+    """
+    from repro.xmark import spill_pair
+    from repro.xmldb.pool import DEFAULT_POOL_BYTES, open_document
+
+    if budget_bytes is None:
+        budget_bytes = DEFAULT_POOL_BYTES
+    people_path, auctions_path = spill_pair(
+        scale, directory, seed,
+        people_uri="xrpc://peer1/people.xml",
+        auctions_uri="xrpc://peer2/auctions.xml")
+    federation = Federation(cost_model=cost_model)
+    federation.add_peer("peer1").store(
+        "people.xml", open_document(people_path, budget_bytes))
+    federation.add_peer("peer2").store(
+        "auctions.xml", open_document(auctions_path, budget_bytes))
+    federation.add_peer("local")
+    return federation
+
+
 def document_bytes(federation: Federation) -> int:
     """Total serialised size of the two benchmark documents."""
     peer1 = federation.peer("peer1")

@@ -18,10 +18,21 @@ Public entry points:
 * :mod:`~repro.xmldb.axes` — axis navigation.
 * :func:`~repro.xmldb.compare.deep_equal` — XQuery fn:deep-equal.
 * :func:`~repro.xmldb.projection.project` — Algorithm 1.
+* :class:`~repro.xmldb.columns.ColumnSet` /
+  :mod:`~repro.xmldb.kernels` — the typed columnar core and its batch
+  kernels.
+* :func:`~repro.xmldb.pool.freeze_to` /
+  :class:`~repro.xmldb.pool.ColumnStore` /
+  :func:`~repro.xmldb.pool.open_document` — the mmap spill format and
+  buffer pool (larger-than-memory serving).
 """
 
 from repro.xmldb.node import Node, NodeKind
+from repro.xmldb.columns import ColumnSet, NameTable
 from repro.xmldb.document import Document, DocumentBuilder
+from repro.xmldb.pool import (
+    BufferPool, ColumnStore, freeze_to, open_document,
+)
 from repro.xmldb.parser import parse_document, parse_fragment
 from repro.xmldb.serializer import serialize, serialize_node
 from repro.xmldb.compare import deep_equal, document_order_key, is_same_node
@@ -31,6 +42,12 @@ from repro.xmldb.values import ValueIndex, value_index
 __all__ = [
     "Node",
     "NodeKind",
+    "ColumnSet",
+    "NameTable",
+    "BufferPool",
+    "ColumnStore",
+    "freeze_to",
+    "open_document",
     "Document",
     "DocumentBuilder",
     "parse_document",

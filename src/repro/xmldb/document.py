@@ -20,11 +20,17 @@ element rather than a document node.
 from __future__ import annotations
 
 import itertools
+from array import array
 from sys import intern
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import XmlError
+from repro.xmldb.columns import KIND_TYPECODE, ColumnSet
+from repro.xmldb.kernels import PRE_TYPECODE
 from repro.xmldb.node import Node, NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from pathlib import Path
 
 _doc_sequence = itertools.count()
 
@@ -52,23 +58,34 @@ class Document:
     construct instances; the raw constructor trusts its arrays.
     """
 
-    __slots__ = ("uri", "kinds", "names", "values", "sizes", "levels",
-                 "parents", "doc_seq", "epoch", "memo_cache_cap",
-                 "_id_index", "_idref_index", "_structural_index",
-                 "_value_index", "_ser_cache")
+    __slots__ = ("uri", "columns", "kinds", "names", "values", "sizes",
+                 "levels", "parents", "count", "doc_seq", "epoch",
+                 "memo_cache_cap", "_id_index", "_idref_index",
+                 "_structural_index", "_value_index", "_ser_cache")
 
-    def __init__(self, uri: str, kinds: list[NodeKind], names: list[str],
-                 values: list[str], sizes: list[int], levels: list[int],
-                 parents: list[int]):
-        if not kinds:
+    def __init__(self, uri: str, kinds: Sequence[NodeKind],
+                 names: Sequence[str], values: Sequence[str],
+                 sizes: Sequence[int], levels: Sequence[int],
+                 parents: Sequence[int],
+                 columns: ColumnSet | None = None):
+        if columns is None:
+            columns = ColumnSet(kinds, names, values, sizes, levels,
+                                parents)
+        if not len(columns):
             raise XmlError("a document must contain at least one node")
         self.uri = uri
-        self.kinds = kinds
-        self.names = names
-        self.values = values
-        self.sizes = sizes
-        self.levels = levels
-        self.parents = parents
+        # The six parallel columns are bound as plain attributes (same
+        # access cost as before the columnar refactor); ``columns`` is
+        # the physical handle (typed arrays, or pooled lazy columns
+        # for a spilled document).
+        self.columns = columns
+        self.kinds = columns.kinds
+        self.names = columns.names
+        self.values = columns.values
+        self.sizes = columns.sizes
+        self.levels = columns.levels
+        self.parents = columns.parents
+        self.count = columns.count
         self.doc_seq = next(_doc_sequence)
         self.epoch = 0
         #: Bound on the unbounded-growth memo caches riding on this
@@ -96,10 +113,16 @@ class Document:
         self._value_index = None
         self._ser_cache = None
 
+    @classmethod
+    def from_columns(cls, uri: str, columns: ColumnSet) -> "Document":
+        """Wrap an already-built :class:`ColumnSet` (spill reopen, the
+        streaming generator) without re-coercing any column."""
+        return cls(uri, (), (), (), (), (), (), columns=columns)
+
     # -- basic accessors -----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.kinds)
+        return self.count
 
     @property
     def root(self) -> Node:
@@ -111,14 +134,37 @@ class Document:
         return self.kinds[0] != NodeKind.DOCUMENT
 
     def node(self, pre: int) -> Node:
-        if not 0 <= pre < len(self.kinds):
+        # ``count`` is bound once at construction: the bounds check
+        # costs two compares, never a column ``len()`` (which walks
+        # the page table on a pooled column).
+        if not 0 <= pre < self.count:
             raise XmlError(f"pre rank {pre} out of range for {self.uri!r}")
         return Node(self, pre)
 
     def nodes(self) -> Iterator[Node]:
         """All nodes in document order (including attributes)."""
-        for pre in range(len(self.kinds)):
+        for pre in range(self.count):
             yield Node(self, pre)
+
+    # -- physical layout ------------------------------------------------------
+
+    def column_byte_sizes(self) -> Mapping[str, int]:
+        """Exact per-column physical bytes (see
+        :meth:`ColumnSet.column_byte_sizes`)."""
+        return self.columns.column_byte_sizes()
+
+    def column_bytes(self) -> int:
+        """Total exact columnar footprint in bytes — the figure the
+        planner's statistics catalog records."""
+        return self.columns.byte_size()
+
+    def freeze_to(self, path: "str | Path") -> int:
+        """Spill this document to the page-granular column format at
+        ``path`` (see :mod:`repro.xmldb.pool`); returns the file size
+        in bytes. Reopen with :func:`repro.xmldb.pool.ColumnStore.open`."""
+        from repro.xmldb.pool import freeze_to
+
+        return freeze_to(self, path)
 
     # -- ID/IDREF index (for fn:id / fn:idref) --------------------------------
 
@@ -173,12 +219,14 @@ class DocumentBuilder:
 
     def __init__(self, uri: str = ""):
         self.uri = uri
-        self._kinds: list[NodeKind] = []
+        # Fixed-width columns accumulate straight into typed arrays —
+        # one contiguous buffer per column, no per-node boxed ints.
+        self._kinds = array(KIND_TYPECODE)
         self._names: list[str] = []
         self._values: list[str] = []
-        self._sizes: list[int] = []
-        self._levels: list[int] = []
-        self._parents: list[int] = []
+        self._sizes = array(PRE_TYPECODE)
+        self._levels = array(PRE_TYPECODE)
+        self._parents = array(PRE_TYPECODE)
         self._stack: list[int] = []  # pre ranks of open nodes
         self._has_content: list[bool] = []  # parallel to _stack
         self._finished = False
@@ -276,28 +324,39 @@ class DocumentBuilder:
         src_level0 = src.levels[start]
         offset = len(self._kinds) - start
         parent_of_root = self._stack[-1] if self._stack else -1
-        for pre in range(start, end + 1):
-            self._kinds.append(src.kinds[pre])
-            self._names.append(src.names[pre])
-            self._values.append(src.values[pre])
-            self._sizes.append(src.sizes[pre])
-            self._levels.append(src.levels[pre] - src_level0 + base_level)
-            src_parent = src.parents[pre]
-            if pre == start:
-                self._parents.append(parent_of_root)
-            else:
-                self._parents.append(src_parent + offset)
+        stop = end + 1
+        # Kinds/names/values/sizes copy verbatim: whole-column slice
+        # extends instead of per-node appends.
+        self._kinds.extend(src.kinds[start:stop])
+        self._names.extend(src.names[start:stop])
+        self._values.extend(src.values[start:stop])
+        self._sizes.extend(src.sizes[start:stop])
+        shift = base_level - src_level0
+        if shift == 0:
+            self._levels.extend(src.levels[start:stop])
+        else:
+            self._levels.extend(level + shift
+                                for level in src.levels[start:stop])
+        self._parents.append(parent_of_root)
+        self._parents.extend(parent + offset
+                             for parent in src.parents[start + 1:stop])
 
     # -- completion ------------------------------------------------------------------
 
     def finish(self) -> Document:
+        return Document.from_columns(self.uri, self.finish_columns())
+
+    def finish_columns(self) -> ColumnSet:
+        """The built tree as a bare :class:`ColumnSet` — the streaming
+        generator path, which spills column sets without constructing
+        a :class:`Document` (no doc-seq allocation, no cache slots)."""
         if self._stack:
             raise XmlError("finish() with unclosed elements")
         if self._finished:
             raise XmlError("builder already finished")
         self._finished = True
-        return Document(self.uri, self._kinds, self._names, self._values,
-                        self._sizes, self._levels, self._parents)
+        return ColumnSet(self._kinds, self._names, self._values,
+                         self._sizes, self._levels, self._parents)
 
 
 def build_fragment_from_nodes(uri: str, content: Iterable[Node]) -> Document:

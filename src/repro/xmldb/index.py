@@ -30,18 +30,19 @@ epoch mismatch.
 
 from __future__ import annotations
 
-from bisect import bisect_right
-from itertools import chain as _chain
+from array import array
 from time import perf_counter
 from typing import TYPE_CHECKING, Sequence
 
 from repro.obs.metrics import GLOBAL_REGISTRY
+from repro.xmldb import kernels
+from repro.xmldb.kernels import pre_array
 from repro.xmldb.node import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.xmldb.document import Document
 
-_EMPTY: list[int] = []
+_EMPTY = pre_array()
 
 #: Axes answerable as index range scans (all forward, all yielding
 #: document order). The evaluator falls back to the naive per-node
@@ -70,38 +71,41 @@ class StructuralIndex:
     def __init__(self, doc: "Document"):
         self.doc = doc
         self.epoch = doc.epoch
-        kinds = doc.kinds
-        names = doc.names
-        parents = doc.parents
-        count = len(kinds)
+        count = doc.count
 
-        tag_pres: dict[str, list[int]] = {}
-        element_pres: list[int] = []
-        non_attr_pres: list[int] = []
-        text_pres: list[int] = []
-        comment_pres: list[int] = []
-        non_attr_rank = [0] * count
-        path_of = [-1] * count
+        tag_pres: dict[str, array] = {}
+        element_pres = pre_array()
+        non_attr_pres = pre_array()
+        text_pres = pre_array()
+        comment_pres = pre_array()
+        # Zero-filled typed columns in one allocation apiece.
+        non_attr_rank = pre_array(bytes(4 * count))
+        path_of = pre_array(bytes(4 * count))
         path_key: dict[tuple[int, str], int] = {}
         path_parent: list[int] = []
         path_tag: list[str] = []
-        path_pres: list[list[int]] = []
+        path_pres: list[array] = []
 
+        ATTRIBUTE = NodeKind.ATTRIBUTE
+        ELEMENT = NodeKind.ELEMENT
+        TEXT = NodeKind.TEXT
+        COMMENT = NodeKind.COMMENT
         rank = 0
-        for pre in range(count):
-            kind = kinds[pre]
-            if kind != NodeKind.ATTRIBUTE:
+        # One zipped pass: column iterators stream page-by-page on a
+        # pooled (spilled) document instead of random-accessing every
+        # row, and skip per-index __getitem__ calls on arrays too.
+        for pre, (kind, name, parent) in enumerate(
+                zip(doc.kinds, doc.names, doc.parents)):
+            if kind != ATTRIBUTE:
                 rank += 1
                 non_attr_pres.append(pre)
             non_attr_rank[pre] = rank
-            if kind == NodeKind.ELEMENT:
-                name = names[pre]
+            if kind == ELEMENT:
                 element_pres.append(pre)
                 bucket = tag_pres.get(name)
                 if bucket is None:
-                    tag_pres[name] = bucket = []
+                    tag_pres[name] = bucket = pre_array()
                 bucket.append(pre)
-                parent = parents[pre]
                 parent_path = path_of[parent] if parent >= 0 else -1
                 key = (parent_path, name)
                 path_id = path_key.get(key)
@@ -110,13 +114,15 @@ class StructuralIndex:
                     path_key[key] = path_id
                     path_parent.append(parent_path)
                     path_tag.append(name)
-                    path_pres.append([])
+                    path_pres.append(pre_array())
                 path_of[pre] = path_id
                 path_pres[path_id].append(pre)
-            elif kind == NodeKind.TEXT:
-                text_pres.append(pre)
-            elif kind == NodeKind.COMMENT:
-                comment_pres.append(pre)
+            else:
+                path_of[pre] = -1
+                if kind == TEXT:
+                    text_pres.append(pre)
+                elif kind == COMMENT:
+                    comment_pres.append(pre)
 
         self.tag_pres = tag_pres
         self.element_pres = element_pres
@@ -131,7 +137,7 @@ class StructuralIndex:
 
     # -- test dispatch -------------------------------------------------------
 
-    def _candidates(self, test: str) -> list[int]:
+    def _candidates(self, test: str) -> Sequence[int]:
         """Sorted pres of subtree-content nodes matching ``test`` (the
         candidate pool for child/descendant scans — never attributes)."""
         if test == "node()":
@@ -170,37 +176,37 @@ class StructuralIndex:
     # -- axis scans ------------------------------------------------------------
 
     def axis_scan(self, axis: str, test: str,
-                  pres: Sequence[int]) -> list[int]:
+                  pres: Sequence[int]) -> Sequence[int]:
         """One set-at-a-time axis step over sorted, duplicate-free
-        context pres. Returns sorted, duplicate-free result pres."""
+        context pres. Returns sorted, duplicate-free result pres
+        (typed columns from the batch kernels)."""
         if not pres:
-            return []
+            return _EMPTY
         if axis == "self":
-            return [p for p in pres if self.matches(p, test)]
+            return pre_array(p for p in pres if self.matches(p, test))
         if axis == "attribute":
             return self._attribute_scan(test, pres)
         if axis == "child":
-            return self._child_scan(test, pres)
+            return kernels.children_of(self._candidates(test), pres,
+                                       self.doc.sizes, self.doc.parents)
         if axis == "descendant":
-            return self._descendant_scan(test, pres)
+            return kernels.subtree_sweep(self._candidates(test), pres,
+                                         self.doc.sizes)
         if axis == "descendant-or-self":
-            selves = [p for p in pres if self.matches(p, test)]
-            below = self._descendant_scan(test, pres)
-            if not selves:
-                return below
-            if not below:
-                return selves
-            return sorted(set(selves).union(below))
+            selves = pre_array(p for p in pres if self.matches(p, test))
+            below = kernels.subtree_sweep(self._candidates(test), pres,
+                                          self.doc.sizes)
+            return kernels.union_sorted(selves, below)
         raise ValueError(f"axis {axis!r} is not index-scannable")
 
-    def _attribute_scan(self, test: str, pres: Sequence[int]) -> list[int]:
+    def _attribute_scan(self, test: str, pres: Sequence[int]) -> array:
         kinds = self.doc.kinds
         names = self.doc.names
-        count = len(kinds)
+        count = self.doc.count
         by_name = not test.endswith("()") and test != "*"
         if test == "text()" or test == "comment()":
-            return []
-        out: list[int] = []
+            return _EMPTY
+        out = pre_array()
         for owner in pres:
             if kinds[owner] != NodeKind.ELEMENT:
                 continue
@@ -212,50 +218,9 @@ class StructuralIndex:
                 cursor += 1
         return out
 
-    def _child_scan(self, test: str, pres: Sequence[int]) -> list[int]:
-        candidates = self._candidates(test)
-        if not candidates:
-            return []
-        doc = self.doc
-        sizes = doc.sizes
-        parents = doc.parents
-        out: list[int] = []
-        for parent in pres:
-            size = sizes[parent]
-            if size == 0:
-                continue
-            lo = bisect_right(candidates, parent)
-            hi = bisect_right(candidates, parent + size, lo)
-            out.extend(p for p in candidates[lo:hi] if parents[p] == parent)
-        # Nested context nodes interleave their child runs; restore the
-        # global order then (child sets of distinct parents are
-        # disjoint, so no dedup is needed).
-        if any(out[i] >= out[i + 1] for i in range(len(out) - 1)):
-            out.sort()
-        return out
-
-    def _descendant_scan(self, test: str, pres: Sequence[int]) -> list[int]:
-        candidates = self._candidates(test)
-        if not candidates:
-            return []
-        sizes = self.doc.sizes
-        out: list[int] = []
-        covered = -1
-        for context in pres:
-            # Subtree intervals of sorted contexts are nested or
-            # disjoint: skip contexts inside an already-scanned range.
-            if context <= covered:
-                continue
-            end = context + sizes[context]
-            lo = bisect_right(candidates, context)
-            hi = bisect_right(candidates, end, lo)
-            out.extend(candidates[lo:hi])
-            covered = end
-        return out
-
     # -- path summary --------------------------------------------------------
 
-    def match_chain(self, chain: Sequence[tuple[str, str]]) -> list[int]:
+    def match_chain(self, chain: Sequence[tuple[str, str]]) -> Sequence[int]:
         """All pres reachable from the tree root by ``chain`` — a
         sequence of predicate-free ``("child" | "descendant", name)``
         steps — via NFA simulation over the path summary.
@@ -289,11 +254,11 @@ class StructuralIndex:
             if state and state[-1] == full:
                 matched.append(path_id)
         if not matched:
-            return []
+            return _EMPTY
         if len(matched) == 1:
             return self.path_pres[matched[0]]
-        return sorted(_chain.from_iterable(
-            self.path_pres[path_id] for path_id in matched))
+        return kernels.merge_sorted([self.path_pres[path_id]
+                                     for path_id in matched])
 
 
 def _advance(states: tuple[int, ...], tag: str,

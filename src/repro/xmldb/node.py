@@ -70,7 +70,11 @@ class Node:
 
     @property
     def kind(self) -> NodeKind:
-        return self.doc.kinds[self.pre]
+        # The kind column stores raw bytes; the handle re-wraps them in
+        # the enum so ``node.kind.name`` etc. keep working. Hot paths
+        # read ``doc.kinds[pre]`` directly and compare against the
+        # IntEnum members as plain ints.
+        return NodeKind(self.doc.kinds[self.pre])
 
     @property
     def name(self) -> str:

@@ -1,0 +1,544 @@
+"""Page-granular column spill format and the mmap buffer pool.
+
+This is the larger-than-memory half of the columnar core: a
+:class:`~repro.xmldb.document.Document` can be *frozen* to a single
+``XCOL1`` file (:func:`freeze_to`) and reopened
+(:meth:`ColumnStore.open`) as a document whose columns are **lazy** —
+backed by a read-only ``mmap`` of the file plus a small
+:class:`BufferPool` of decoded pages. Every consumer (kernels,
+structural/value index builders, the naive walker, the serializer)
+speaks the plain sequence protocol, so a spilled document is
+indistinguishable from an in-memory one except for its resident set:
+only the pinned pages plus the pool budget are ever held decoded, and
+evicted ranges are released back to the OS with
+``madvise(MADV_DONTNEED)`` so a corpus several times larger than the
+budget is served under a bounded RSS.
+
+File layout (all integers little/native-endian — the header records
+the byteorder and :meth:`ColumnStore.open` refuses a mismatch)::
+
+    magic  b"XCOL1\\0\\0\\0"                              8 bytes
+    header_len                                          u64
+    header JSON  {uri, count, byteorder, names, columns} utf-8
+    --- padding to the next 4096 boundary ---
+    kinds          count bytes            array('B')
+    names          count * 4 bytes        array('i') of name-ids
+    sizes          count * 4 bytes        array('i')
+    levels         count * 4 bytes        array('i')
+    parents        count * 4 bytes        array('i')
+    value_offsets  (count + 1) * 8 bytes  array('Q')
+    value_blob     offsets[-1] bytes      utf-8, concatenated values
+    (each section padded to the next 4096 boundary)
+
+The name column is stored as dense ids against the header's name
+table; ids are assigned in first-occurrence order
+(:class:`~repro.xmldb.columns.NameTable`), so *freeze → open → freeze*
+round-trips byte-identically — the equivalence the spill tests pin.
+
+The :class:`BufferPool` is deliberately simple: an LRU of decoded
+pages under a byte budget, with pin counts so a page being iterated
+is never evicted mid-yield, and hit/miss/eviction counters for the
+benchmarks and tests to assert against.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import struct
+import sys
+from array import array
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
+
+from repro.errors import XmlError
+from repro.xmldb.columns import (
+    KIND_TYPECODE, OFFSET_TYPECODE, ColumnSet, NameTable,
+)
+from repro.xmldb.kernels import PRE_TYPECODE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.xmldb.document import Document
+
+#: File magic of the spill format, version 1.
+MAGIC = b"XCOL1\x00\x00\x00"
+
+#: Sections (and the header) start on this boundary, so page-aligned
+#: ``madvise`` ranges map cleanly onto column prefixes.
+PAGE_ALIGN = 4096
+
+#: Items per decoded buffer-pool page. 4096 ints is 16 KiB per page
+#: for the 32-bit columns — big enough to amortise the decode, small
+#: enough that a few-hundred-KiB budget still holds useful pages.
+POOL_PAGE_ITEMS = 4096
+
+#: Default buffer-pool budget: 64 MiB of decoded pages.
+DEFAULT_POOL_BYTES = 64 * 2**20
+
+#: Fixed on-disk column order; offsets are derived from the lengths,
+#: so the header only has to record the lengths.
+_COLUMN_ORDER = ("kinds", "names", "sizes", "levels", "parents",
+                 "value_offsets", "value_blob")
+
+#: Rough per-decoded-string bookkeeping overhead (CPython ``str``
+#: header) used for the pool's value-page byte accounting.
+_STR_OVERHEAD = 56
+
+
+def _align(offset: int) -> int:
+    return (offset + PAGE_ALIGN - 1) // PAGE_ALIGN * PAGE_ALIGN
+
+
+# ---------------------------------------------------------------------------
+# Freezing (spill)
+# ---------------------------------------------------------------------------
+
+
+def freeze_to(doc: "Document", path: "str | Path") -> int:
+    """Spill ``doc``'s columns to ``path`` in the XCOL1 format.
+
+    Returns the file size in bytes. Works on in-memory and already
+    pooled documents alike (columns are consumed through the sequence
+    protocol, page-wise for pooled ones).
+    """
+    return freeze_columns(doc.columns, doc.uri, path)
+
+
+def freeze_columns(columns: ColumnSet, uri: str,
+                   path: "str | Path") -> int:
+    """Spill a bare :class:`ColumnSet` (the streaming generator path —
+    no :class:`Document` ever constructed)."""
+    doc = columns
+    table = NameTable()
+    name_ids = array(PRE_TYPECODE, (table.id_of(name)
+                                    for name in doc.names))
+    offsets = array(OFFSET_TYPECODE, [0])
+    chunks: list[bytes] = []
+    total = 0
+    for value in doc.values:
+        raw = value.encode()
+        total += len(raw)
+        offsets.append(total)
+        chunks.append(raw)
+    sections: dict[str, bytes] = {
+        "kinds": _section_bytes(doc.kinds, KIND_TYPECODE),
+        "names": name_ids.tobytes(),
+        "sizes": _section_bytes(doc.sizes, PRE_TYPECODE),
+        "levels": _section_bytes(doc.levels, PRE_TYPECODE),
+        "parents": _section_bytes(doc.parents, PRE_TYPECODE),
+        "value_offsets": offsets.tobytes(),
+        "value_blob": b"".join(chunks),
+    }
+    header = {
+        "uri": uri,
+        "count": doc.count,
+        "byteorder": sys.byteorder,
+        "names": table.names,
+        "columns": {name: len(sections[name]) for name in _COLUMN_ORDER},
+    }
+    header_raw = json.dumps(header, separators=(",", ":"),
+                            sort_keys=True).encode()
+    path = Path(path)
+    with path.open("wb") as fh:
+        fh.write(MAGIC)
+        fh.write(struct.pack("<Q", len(header_raw)))
+        fh.write(header_raw)
+        cursor = len(MAGIC) + 8 + len(header_raw)
+        for name in _COLUMN_ORDER:
+            start = _align(cursor)
+            fh.write(b"\x00" * (start - cursor))
+            fh.write(sections[name])
+            cursor = start + len(sections[name])
+        end = _align(cursor)
+        fh.write(b"\x00" * (end - cursor))
+    return end
+
+
+def _section_bytes(column: Sequence, typecode: str) -> bytes:
+    if isinstance(column, array) and column.typecode == typecode:
+        return column.tobytes()
+    return array(typecode, iter(column)).tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool
+# ---------------------------------------------------------------------------
+
+
+class _Page:
+    """One decoded page: payload, its byte cost, a pin count, and the
+    release hook run on eviction (``madvise`` of the backing range)."""
+
+    __slots__ = ("data", "nbytes", "pins", "release")
+
+    def __init__(self, data, nbytes: int, release: Callable[[], None]):
+        self.data = data
+        self.nbytes = nbytes
+        self.pins = 0
+        self.release = release
+
+
+class BufferPool:
+    """LRU cache of decoded column pages under a byte budget.
+
+    Pages with a non-zero pin count are skipped by eviction (an
+    iterator pins the page it is currently yielding from), so a
+    pathological budget can transiently overshoot by the pinned set —
+    correctness never depends on the budget.
+    """
+
+    __slots__ = ("budget_bytes", "hits", "misses", "evictions",
+                 "cached_bytes", "_pages")
+
+    def __init__(self, budget_bytes: int = DEFAULT_POOL_BYTES):
+        self.budget_bytes = budget_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.cached_bytes = 0
+        self._pages: OrderedDict[tuple[int, int], _Page] = OrderedDict()
+
+    def get(self, key: tuple[int, int],
+            loader: Callable[[], _Page]) -> _Page:
+        """The page under ``key``, decoding via ``loader`` on a miss
+        (and evicting LRU unpinned pages back under budget)."""
+        page = self._pages.get(key)
+        if page is not None:
+            self.hits += 1
+            self._pages.move_to_end(key)
+            return page
+        self.misses += 1
+        page = loader()
+        self._pages[key] = page
+        self.cached_bytes += page.nbytes
+        if self.cached_bytes > self.budget_bytes:
+            self._evict()
+        return page
+
+    def _evict(self) -> None:
+        for key in list(self._pages):
+            if self.cached_bytes <= self.budget_bytes:
+                return
+            page = self._pages[key]
+            if page.pins:
+                continue
+            del self._pages[key]
+            self.cached_bytes -= page.nbytes
+            self.evictions += 1
+            page.release()
+
+    def drop_all(self) -> None:
+        """Forget every cached page (store close)."""
+        self._pages.clear()
+        self.cached_bytes = 0
+
+    def stats(self) -> Mapping[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions,
+                "cached_bytes": self.cached_bytes,
+                "budget_bytes": self.budget_bytes}
+
+
+# ---------------------------------------------------------------------------
+# Pooled lazy columns
+# ---------------------------------------------------------------------------
+
+
+class _PooledIntColumn:
+    """A fixed-width column decoded page-wise from the store's mmap.
+
+    Implements the sequence protocol (int / slice ``__getitem__``,
+    ``__len__``, page-streaming ``__iter__``) so kernels and index
+    builders treat it exactly like an in-memory ``array``.
+    """
+
+    __slots__ = ("_store", "_typecode", "_itemsize", "_offset", "count")
+
+    def __init__(self, store: "ColumnStore", typecode: str,
+                 offset: int, count: int):
+        self._store = store
+        self._typecode = typecode
+        self._itemsize = array(typecode).itemsize
+        self._offset = offset
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _page(self, page_no: int) -> _Page:
+        def load() -> _Page:
+            start = page_no * POOL_PAGE_ITEMS
+            n = min(POOL_PAGE_ITEMS, self.count - start)
+            lo = self._offset + start * self._itemsize
+            nbytes = n * self._itemsize
+            data = array(self._typecode)
+            data.frombytes(self._store.mm[lo:lo + nbytes])
+            return _Page(data, nbytes,
+                         lambda: self._store.release(lo, nbytes))
+        return self._store.pool.get((id(self), page_no), load)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._slice(index)
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return self._page(index // POOL_PAGE_ITEMS) \
+            .data[index % POOL_PAGE_ITEMS]
+
+    def _slice(self, index: slice):
+        start, stop, step = index.indices(self.count)
+        out = array(self._typecode)
+        if step != 1:
+            out.extend(self[i] for i in range(start, stop, step))
+            return out
+        while start < stop:
+            page = self._page(start // POOL_PAGE_ITEMS)
+            base = start - start % POOL_PAGE_ITEMS
+            hi = min(stop - base, len(page.data))
+            out.extend(page.data[start - base:hi])
+            start = base + hi
+        return out
+
+    def __iter__(self) -> Iterator[int]:
+        for page_no in range((self.count + POOL_PAGE_ITEMS - 1)
+                             // POOL_PAGE_ITEMS):
+            page = self._page(page_no)
+            page.pins += 1
+            try:
+                yield from page.data
+            finally:
+                page.pins -= 1
+
+
+class _PooledNameColumn:
+    """The name column: pooled id column + the header's name table.
+
+    Interned table strings are shared across every row that carries
+    the tag, exactly like the in-memory name list.
+    """
+
+    __slots__ = ("_ids", "_table", "count")
+
+    def __init__(self, ids: _PooledIntColumn, table: list[str]):
+        self._ids = ids
+        self._table = table
+        self.count = ids.count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            table = self._table
+            return [table[nid] for nid in self._ids[index]]
+        return self._table[self._ids[index]]
+
+    def __iter__(self) -> Iterator[str]:
+        return map(self._table.__getitem__, iter(self._ids))
+
+
+class _PooledValueColumn:
+    """The value column: offsets + utf-8 blob, decoded page-wise.
+
+    A decoded page is a list of strings; its pool cost is the encoded
+    length plus a per-string header estimate, so the budget tracks
+    real memory rather than row counts.
+    """
+
+    __slots__ = ("_store", "_offsets", "_blob_offset", "count")
+
+    def __init__(self, store: "ColumnStore",
+                 offsets: _PooledIntColumn, blob_offset: int, count: int):
+        self._store = store
+        self._offsets = offsets
+        self._blob_offset = blob_offset
+        self.count = count
+
+    def __len__(self) -> int:
+        return self.count
+
+    def _page(self, page_no: int) -> _Page:
+        def load() -> _Page:
+            start = page_no * POOL_PAGE_ITEMS
+            n = min(POOL_PAGE_ITEMS, self.count - start)
+            bounds = self._offsets[start:start + n + 1]
+            base = bounds[0]
+            lo = self._blob_offset + base
+            span = bounds[-1] - base
+            raw = self._store.mm[lo:lo + span]
+            data = [raw[bounds[i] - base:bounds[i + 1] - base].decode()
+                    for i in range(n)]
+            nbytes = span + n * _STR_OVERHEAD
+            return _Page(data, nbytes,
+                         lambda: self._store.release(lo, span))
+        return self._store.pool.get((id(self), page_no), load)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.count)
+            return [self[i] for i in range(start, stop, step)]
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return self._page(index // POOL_PAGE_ITEMS) \
+            .data[index % POOL_PAGE_ITEMS]
+
+    def __iter__(self) -> Iterator[str]:
+        for page_no in range((self.count + POOL_PAGE_ITEMS - 1)
+                             // POOL_PAGE_ITEMS):
+            page = self._page(page_no)
+            page.pins += 1
+            try:
+                yield from page.data
+            finally:
+                page.pins -= 1
+
+
+class StoredColumnSet(ColumnSet):
+    """A :class:`ColumnSet` over pooled lazy columns, keeping a handle
+    on the backing store and answering physical sizing straight from
+    the header directory (no column scans)."""
+
+    __slots__ = ("store", "_byte_sizes")
+
+    def __init__(self, store: "ColumnStore", kinds, names, values,
+                 sizes, levels, parents,
+                 byte_sizes: Mapping[str, int]):
+        super().__init__(kinds, names, values, sizes, levels, parents)
+        self.store = store
+        self._byte_sizes = dict(byte_sizes)
+
+    def column_byte_sizes(self) -> Mapping[str, int]:
+        return dict(self._byte_sizes)
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+class ColumnStore:
+    """A read-only mmap over one XCOL1 file plus its buffer pool.
+
+    :meth:`open` parses the header, wires pooled lazy columns over the
+    section ranges, and returns the store; :attr:`document` is the
+    reopened :class:`~repro.xmldb.document.Document`. The store stays
+    reachable from the document via ``doc.columns.store``.
+    """
+
+    __slots__ = ("path", "pool", "mm", "_file", "header", "document",
+                 "_madvise_ok")
+
+    @classmethod
+    def open(cls, path: "str | Path",
+             budget_bytes: int = DEFAULT_POOL_BYTES,
+             pool: BufferPool | None = None) -> "ColumnStore":
+        return cls(Path(path), pool or BufferPool(budget_bytes))
+
+    def __init__(self, path: Path, pool: BufferPool):
+        from repro.xmldb.document import Document
+
+        self.path = path
+        self.pool = pool
+        self._file = path.open("rb")
+        self.mm = mmap.mmap(self._file.fileno(), 0,
+                            access=mmap.ACCESS_READ)
+        self._madvise_ok = (hasattr(self.mm, "madvise")
+                            and hasattr(mmap, "MADV_DONTNEED"))
+        if self.mm[:len(MAGIC)] != MAGIC:
+            raise XmlError(f"{path} is not an XCOL1 spill file")
+        (header_len,) = struct.unpack_from("<Q", self.mm, len(MAGIC))
+        header_start = len(MAGIC) + 8
+        self.header = json.loads(
+            self.mm[header_start:header_start + header_len].decode())
+        if self.header["byteorder"] != sys.byteorder:
+            raise XmlError(
+                f"{path} was written on a {self.header['byteorder']}-endian "
+                f"host; this host is {sys.byteorder}-endian")
+        count = self.header["count"]
+        offsets = self._section_offsets(header_start + header_len)
+        table = [sys.intern(name) for name in self.header["names"]]
+        name_ids = _PooledIntColumn(self, PRE_TYPECODE,
+                                    offsets["names"], count)
+        value_offsets = _PooledIntColumn(self, OFFSET_TYPECODE,
+                                         offsets["value_offsets"],
+                                         count + 1)
+        columns = StoredColumnSet(
+            self,
+            _PooledIntColumn(self, KIND_TYPECODE, offsets["kinds"], count),
+            _PooledNameColumn(name_ids, table),
+            _PooledValueColumn(self, value_offsets,
+                               offsets["value_blob"], count),
+            _PooledIntColumn(self, PRE_TYPECODE, offsets["sizes"], count),
+            _PooledIntColumn(self, PRE_TYPECODE, offsets["levels"], count),
+            _PooledIntColumn(self, PRE_TYPECODE, offsets["parents"], count),
+            byte_sizes=self._logical_byte_sizes(count),
+        )
+        self.document = Document.from_columns(self.header["uri"], columns)
+
+    def _section_offsets(self, header_end: int) -> dict[str, int]:
+        """Absolute file offsets, derived by aligning the header-listed
+        lengths in the fixed column order (what :func:`freeze_to`
+        wrote)."""
+        lengths = self.header["columns"]
+        offsets: dict[str, int] = {}
+        cursor = header_end
+        for name in _COLUMN_ORDER:
+            cursor = _align(cursor)
+            offsets[name] = cursor
+            cursor += lengths[name]
+        return offsets
+
+    def _logical_byte_sizes(self, count: int) -> dict[str, int]:
+        """The same figures :meth:`ColumnSet.column_byte_sizes` reports
+        for the in-memory document, read off the header directory."""
+        lengths = self.header["columns"]
+        name_table_bytes = sum(len(name.encode())
+                               for name in self.header["names"])
+        return {
+            "kinds": lengths["kinds"],
+            "names": lengths["names"] + name_table_bytes,
+            "values": lengths["value_offsets"] + lengths["value_blob"],
+            "sizes": lengths["sizes"],
+            "levels": lengths["levels"],
+            "parents": lengths["parents"],
+        }
+
+    # -- page release --------------------------------------------------------
+
+    def release(self, offset: int, length: int) -> None:
+        """Hint the OS that the mmap range behind an evicted page is no
+        longer needed (bounds the resident set). The range is shrunk to
+        whole OS pages; a sub-page range is simply skipped."""
+        if not self._madvise_ok or self.mm.closed:
+            return
+        lo = _align(offset)
+        hi = (offset + length) // PAGE_ALIGN * PAGE_ALIGN
+        if lo < hi:
+            self.mm.madvise(mmap.MADV_DONTNEED, lo, hi - lo)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.drop_all()
+        if not self.mm.closed:
+            self.mm.close()
+        self._file.close()
+
+    def __enter__(self) -> "ColumnStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_document(path: "str | Path",
+                  budget_bytes: int = DEFAULT_POOL_BYTES) -> "Document":
+    """Convenience wrapper: the reopened document of
+    ``ColumnStore.open(path, budget_bytes)`` (store reachable via
+    ``doc.columns.store``)."""
+    return ColumnStore.open(path, budget_bytes).document

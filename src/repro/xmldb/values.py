@@ -31,13 +31,16 @@ text is not numeric become NaN, which satisfies only ``!=``).
 from __future__ import annotations
 
 import threading
-from bisect import bisect_left, bisect_right
+from array import array
 from collections import OrderedDict
 from math import isnan
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.obs.metrics import GLOBAL_REGISTRY
+from repro.xmldb.kernels import (
+    difference_sorted, equal_bounds, pre_array, sorted_array,
+)
 from repro.xmldb.node import NodeKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -46,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Operators a value column can answer as range scans.
 PROBE_OPS = frozenset({"=", "!=", "<", "<=", ">", ">=", "exists"})
 
-_EMPTY: list[int] = []
+_EMPTY = pre_array()
 
 
 def coerce_number(text: str) -> float:
@@ -74,21 +77,21 @@ class ValueColumn:
         self.key = key
         entries.sort()
         self.str_values = [value for value, _pre in entries]
-        self.str_pres = [pre for _value, pre in entries]
+        self.str_pres = pre_array(pre for _value, pre in entries)
         numeric = sorted(
             (number, pre)
             for value, pre in entries
             if not isnan(number := coerce_number(value)))
-        self.num_values = [number for number, _pre in numeric]
-        self.num_pres = [pre for _number, pre in numeric]
-        self.all_pres = sorted(self.str_pres)
+        self.num_values = array("d", (number for number, _pre in numeric))
+        self.num_pres = pre_array(pre for _number, pre in numeric)
+        self.all_pres = sorted_array(self.str_pres)
 
     def __len__(self) -> int:
         return len(self.str_pres)
 
     # -- probes --------------------------------------------------------------
 
-    def probe(self, op: str, value: object) -> list[int] | None:
+    def probe(self, op: str, value: object) -> Sequence[int] | None:
         """Sorted pres of nodes whose value satisfies ``value-op-probe``
         under general-comparison coercion; None when the probe value's
         type is not supported (booleans — the caller falls back)."""
@@ -102,48 +105,46 @@ class ValueColumn:
             return self._probe_string(op, str(value))
         return None
 
-    def _probe_string(self, op: str, value: str) -> list[int]:
-        values = self.str_values
-        lo = bisect_left(values, value)
-        hi = bisect_right(values, value, lo)
+    def _probe_string(self, op: str, value: str) -> Sequence[int]:
+        pres = self.str_pres
+        lo, hi = equal_bounds(self.str_values, value)
         if op == "=":
-            return sorted(self.str_pres[lo:hi])
+            return sorted_array(pres[lo:hi])
         if op == "!=":
-            return sorted(self.str_pres[:lo] + self.str_pres[hi:])
+            return sorted_array(pres[:lo] + pres[hi:])
         if op == "<":
-            return sorted(self.str_pres[:lo])
+            return sorted_array(pres[:lo])
         if op == "<=":
-            return sorted(self.str_pres[:hi])
+            return sorted_array(pres[:hi])
         if op == ">":
-            return sorted(self.str_pres[hi:])
+            return sorted_array(pres[hi:])
         if op == ">=":
-            return sorted(self.str_pres[lo:])
+            return sorted_array(pres[lo:])
         raise ValueError(f"unknown probe operator {op!r}")
 
-    def _probe_numeric(self, op: str, value: float) -> list[int]:
+    def _probe_numeric(self, op: str, value: float) -> Sequence[int]:
         if isnan(value):
             # NaN satisfies only !=, and it does so against everything.
             return self.all_pres if op == "!=" else _EMPTY
-        values = self.num_values
-        lo = bisect_left(values, value)
-        hi = bisect_right(values, value, lo)
+        pres = self.num_pres
+        lo, hi = equal_bounds(self.num_values, value)
         if op == "=":
-            return sorted(self.num_pres[lo:hi])
+            return sorted_array(pres[lo:hi])
         if op == "!=":
             # Non-numeric entries coerce to NaN, and NaN != n is true:
             # the complement runs over *all* pres, not just numeric ones.
-            equal = set(self.num_pres[lo:hi])
-            if not equal:
+            if lo == hi:
                 return self.all_pres
-            return [pre for pre in self.all_pres if pre not in equal]
+            return difference_sorted(self.all_pres,
+                                     sorted_array(pres[lo:hi]))
         if op == "<":
-            return sorted(self.num_pres[:lo])
+            return sorted_array(pres[:lo])
         if op == "<=":
-            return sorted(self.num_pres[:hi])
+            return sorted_array(pres[:hi])
         if op == ">":
-            return sorted(self.num_pres[hi:])
+            return sorted_array(pres[hi:])
         if op == ">=":
-            return sorted(self.num_pres[lo:])
+            return sorted_array(pres[lo:])
         raise ValueError(f"unknown probe operator {op!r}")
 
 
@@ -165,20 +166,25 @@ class ValueIndex:
         self.doc = doc
         self.epoch = doc.epoch
         self._columns: OrderedDict[str, ValueColumn | None] = OrderedDict()
-        self._attr_pres: dict[str, list[int]] | None = None
+        self._attr_pres: dict[str, array] | None = None
         self._lock = threading.Lock()
 
     # -- column construction -------------------------------------------------
 
-    def _attribute_pres(self, name: str) -> list[int]:
+    def _attribute_pres(self, name: str) -> Sequence[int]:
         by_name = self._attr_pres
         if by_name is None:
             by_name = {}
-            kinds = self.doc.kinds
-            names = self.doc.names
-            for pre, kind in enumerate(kinds):
-                if kind == NodeKind.ATTRIBUTE:
-                    by_name.setdefault(names[pre], []).append(pre)
+            ATTRIBUTE = NodeKind.ATTRIBUTE
+            # Zipped column iterators: streams page-wise on a pooled
+            # (spilled) document.
+            for pre, (kind, node_name) in enumerate(
+                    zip(self.doc.kinds, self.doc.names)):
+                if kind == ATTRIBUTE:
+                    bucket = by_name.get(node_name)
+                    if bucket is None:
+                        by_name[node_name] = bucket = pre_array()
+                    bucket.append(pre)
             # Benign publish race: concurrent builders produce the
             # same immutable table; last store wins.
             self._attr_pres = by_name
@@ -217,7 +223,8 @@ class ValueIndex:
                 columns.popitem(last=False)
         return column
 
-    def probe(self, key: str, op: str, value: object) -> list[int] | None:
+    def probe(self, key: str, op: str,
+              value: object) -> Sequence[int] | None:
         """Sorted pres of ``key`` nodes satisfying ``op value``; an
         empty list when the key has no nodes, None when the probe is
         unsupported (the caller must fall back)."""
@@ -226,7 +233,7 @@ class ValueIndex:
             return _EMPTY
         return column.probe(op, value)
 
-    def attribute_pres(self, name: str) -> list[int]:
+    def attribute_pres(self, name: str) -> Sequence[int]:
         """Sorted pres of every attribute named ``name`` (existence
         probes — no value column is materialised for these)."""
         return self._attribute_pres(name)

@@ -38,11 +38,11 @@ router (shard-skip probing).
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from dataclasses import dataclass
 from math import isnan
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.xmldb import kernels
 from repro.xmldb.values import coerce_number, node_string, value_index
 from repro.xquery.ast import (
     ComparisonExpr, ContextItemExpr, Expr, ForExpr, FunCall, LetExpr,
@@ -174,26 +174,26 @@ class IndexPlan:
         return single if single is not None else []
 
 
-def _intersect(axis: str, doc: "Document", candidates: list[int],
-               matched: list[int]) -> list[int]:
-    """Candidates related to a matched node through ``axis``."""
+def _intersect(axis: str, doc: "Document", candidates: Sequence[int],
+               matched: Sequence[int]) -> Sequence[int]:
+    """Candidates related to a matched node through ``axis``.
+
+    Both inputs are sorted duplicate-free pre columns, so the self
+    case is one sorted-set intersection kernel and the others are
+    column-at-a-time sweeps."""
     if not matched:
-        return []
+        return kernels.pre_array()
     if axis == "self":
-        matched_set = set(matched)
-        return [pre for pre in candidates if pre in matched_set]
+        return kernels.intersect_sorted(candidates, matched)
     if axis in ("child", "attribute"):
-        parents = doc.parents
-        owners = {parents[pre] for pre in matched}
-        return [pre for pre in candidates if pre in owners]
+        owners = set(kernels.gather(doc.parents, matched))
+        return kernels.pre_array(pre for pre in candidates
+                                 if pre in owners)
     # descendant: any matched pre inside the candidate's subtree.
     sizes = doc.sizes
-    out = []
-    for pre in candidates:
-        lo = bisect_right(matched, pre)
-        if lo < len(matched) and matched[lo] <= pre + sizes[pre]:
-            out.append(pre)
-    return out
+    return kernels.pre_array(
+        pre for pre in candidates
+        if kernels.any_in_interval(matched, pre, pre + sizes[pre]))
 
 
 # ---------------------------------------------------------------------------

@@ -35,7 +35,7 @@ class TestIndexStructures:
     def test_tag_index_sorted_and_complete(self, doc):
         index = structural_index(doc)
         for name, pres in index.tag_pres.items():
-            assert pres == sorted(pres)
+            assert list(pres) == sorted(pres)
             for pre in pres:
                 assert doc.kinds[pre] == NodeKind.ELEMENT
                 assert doc.names[pre] == name
@@ -48,11 +48,11 @@ class TestIndexStructures:
     def test_kind_arrays_partition_non_attributes(self, doc):
         index = structural_index(doc)
         kinds = {pre: doc.kinds[pre] for pre in range(len(doc))}
-        assert index.text_pres == [
+        assert list(index.text_pres) == [
             p for p, k in kinds.items() if k == NodeKind.TEXT]
-        assert index.comment_pres == [
+        assert list(index.comment_pres) == [
             p for p, k in kinds.items() if k == NodeKind.COMMENT]
-        assert index.non_attr_pres == [
+        assert list(index.non_attr_pres) == [
             p for p, k in kinds.items() if k != NodeKind.ATTRIBUTE]
 
     def test_nodeid_matches_enumeration(self, doc):
@@ -70,7 +70,7 @@ class TestIndexStructures:
         seen = []
         for pres in index.path_pres:
             seen.extend(pres)
-        assert sorted(seen) == index.element_pres
+        assert sorted(seen) == list(index.element_pres)
 
     def test_supported_tests(self):
         assert supported_test("node()")
@@ -88,7 +88,7 @@ class TestChainMatching:
     def test_descendant_chain(self, doc):
         index = structural_index(doc)
         pres = index.match_chain([("descendant", "name")])
-        assert pres == self.expected(doc, {"name"})
+        assert list(pres) == self.expected(doc, {"name"})
 
     def test_child_chain_distinguishes_paths(self, doc):
         index = structural_index(doc)
@@ -113,14 +113,14 @@ class TestChainMatching:
         frag = parse_fragment("<a><a><b/></a></a>")
         index = structural_index(frag)
         # child::a from the fragment root: only the inner a.
-        assert index.match_chain([("child", "a")]) == [1]
+        assert list(index.match_chain([("child", "a")])) == [1]
         # descendant::a likewise excludes the root itself.
-        assert index.match_chain([("descendant", "a")]) == [1]
+        assert list(index.match_chain([("descendant", "a")])) == [1]
 
     def test_leaf_fragment_matches_nothing(self):
         from repro.xmldb.document import Document
         leaf = Document("leaf", [NodeKind.TEXT], [""], ["hi"], [0], [0], [-1])
-        assert structural_index(leaf).match_chain([("child", "a")]) == []
+        assert list(structural_index(leaf).match_chain([("child", "a")])) == []
 
 
 class TestAxisScansAgainstNaive:
@@ -132,19 +132,19 @@ class TestAxisScansAgainstNaive:
         for pre in range(len(doc)):
             naive = [n.pre for n in
                      axes.axis_step(Node(doc, pre), axis, test)]
-            assert index.axis_scan(axis, test, [pre]) == sorted(naive)
+            assert list(index.axis_scan(axis, test, [pre])) == sorted(naive)
 
     def test_set_at_a_time_merges_nested_contexts(self, doc):
         index = structural_index(doc)
         context = index.tag_pres["site"] + index.tag_pres["person"]
         result = index.axis_scan("descendant", "name", sorted(context))
-        assert result == sorted(set(result))
+        assert list(result) == sorted(set(result))
         naive = set()
         for pre in context:
             naive.update(n.pre for n in
                          axes.axis_step(Node(doc, pre), "descendant",
                                         "name"))
-        assert result == sorted(naive)
+        assert list(result) == sorted(naive)
 
 
 class TestSerializerMemoization:
