@@ -120,10 +120,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--enforce-timings", action="store_true",
                         help="fail on absolute timing drift (same-machine "
                              "comparisons only)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BENCH_x.json",
+                        help="check only the named baseline file(s) "
+                             "(repeatable) — for CI jobs that run a "
+                             "subset of the benchmarks")
     parser.add_argument("--verbose", action="store_true")
     options = parser.parse_args(argv)
 
     baselines = sorted(options.baseline.glob("BENCH_*.json"))
+    if options.only:
+        wanted = set(options.only)
+        baselines = [b for b in baselines if b.name in wanted]
+        missing = wanted - {b.name for b in baselines}
+        if missing:
+            print(f"no baseline(s) named {sorted(missing)} under "
+                  f"{options.baseline}", file=sys.stderr)
+            return 2
     if not baselines:
         print(f"no baselines under {options.baseline}", file=sys.stderr)
         return 2

@@ -15,7 +15,16 @@ logical collection:
   call sites: per-shard rewrite, least-loaded replica selection,
   transparent failover, aggregate pushdown;
 * :mod:`repro.cluster.gather` — shard-order-stable result merging and
-  shard-document reassembly for data shipping.
+  shard-document reassembly for data shipping;
+* :mod:`repro.cluster.membership` — the failure detector: probe ticks
+  plus passive transport evidence drive each replica through
+  ``alive → suspect → dead → evicted`` with hysteresis, feeding
+  catalog health marks and placement evictions;
+* :mod:`repro.cluster.repair` — re-replication of under-replicated
+  shard fragments onto healthy peers after evictions;
+* :mod:`repro.cluster.chaos` — deterministic seeded fault schedules
+  and the harness that interleaves them with an oracle-checked live
+  workload.
 
 Quickstart::
 
@@ -40,8 +49,14 @@ Quickstart::
 from repro.cluster.catalog import (
     ClusterCatalog, ClusterError, CollectionSpec, ShardInfo,
 )
+from repro.cluster.chaos import (
+    ChaosEvent, ChaosHarness, ChaosReport, ChaosSchedule,
+)
 from repro.cluster.gather import (
     aggregate_combiner, concatenate, merge_shard_documents,
+)
+from repro.cluster.membership import (
+    ALIVE, DEAD, EVICTED, SUSPECT, MembershipTracker,
 )
 from repro.cluster.partitioner import (
     HashPartitioner, Partitioner, RangePartitioner, collection_members,
@@ -50,7 +65,10 @@ from repro.cluster.partitioner import (
 from repro.cluster.placement import (
     create_sharded_collection, round_robin_placement, shard_local_name,
 )
-from repro.cluster.router import ClusterRouter, rewrite_doc_uris
+from repro.cluster.repair import RepairEngine, RepairTask
+from repro.cluster.router import (
+    ClusterRouter, ShardUnavailableError, rewrite_doc_uris,
+)
 
 __all__ = [
     "ClusterCatalog", "ClusterError", "CollectionSpec", "ShardInfo",
@@ -58,6 +76,9 @@ __all__ = [
     "collection_members", "make_partitioner", "partition_document",
     "create_sharded_collection", "round_robin_placement",
     "shard_local_name",
-    "ClusterRouter", "rewrite_doc_uris",
+    "ClusterRouter", "ShardUnavailableError", "rewrite_doc_uris",
     "aggregate_combiner", "concatenate", "merge_shard_documents",
+    "ALIVE", "SUSPECT", "DEAD", "EVICTED", "MembershipTracker",
+    "RepairEngine", "RepairTask",
+    "ChaosEvent", "ChaosSchedule", "ChaosHarness", "ChaosReport",
 ]

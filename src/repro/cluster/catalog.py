@@ -72,6 +72,9 @@ class CollectionSpec:
     member: str
     shards: tuple[ShardInfo, ...]
     partitioning: str = "range"   # "range" | "hash"
+    #: The replication target the repair engine restores shards to
+    #: after evictions (0 ⇒ infer the widest current placement).
+    replication_factor: int = 0
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -96,6 +99,14 @@ class CollectionSpec:
         reproduces the logical document order (range partitioning)."""
         return self.partitioning == "range"
 
+    @property
+    def target_replication(self) -> int:
+        """The replica count repair restores every shard to: the
+        declared factor, or (legacy specs) the widest placement."""
+        if self.replication_factor > 0:
+            return self.replication_factor
+        return max(len(shard.replicas) for shard in self.shards)
+
 
 class ClusterCatalog:
     """Thread-safe registry of sharded collections.
@@ -105,7 +116,10 @@ class ClusterCatalog:
     :class:`~repro.runtime.engine.FederationEngine`).
     """
 
-    def __init__(self, max_scatter_parallelism: int = 8):
+    PARTIAL_POLICIES = ("error", "allow")
+
+    def __init__(self, max_scatter_parallelism: int = 8,
+                 partial: str = "error", retry_policy=None):
         self.max_scatter_parallelism = max_scatter_parallelism
         self._lock = threading.Lock()
         self._epoch = 0
@@ -114,6 +128,25 @@ class ClusterCatalog:
         #: A :class:`~repro.obs.events.EventLog` installed by a fleet
         #: monitor; every epoch bump emits into it when set.
         self.events = None
+        #: Graceful degradation when a shard has zero live replicas:
+        #: ``"error"`` fails the query (exact semantics, the default);
+        #: ``"allow"`` lets scatter return a *flagged* partial answer
+        #: (``RunStats.partial_shards`` counts the holes).
+        self.partial_policy = self._check_partial(partial)
+        #: The router's :class:`~repro.runtime.transport.RetryPolicy`
+        #: for transient wire faults (None ⇒ the router's default).
+        self.retry_policy = retry_policy
+
+    @classmethod
+    def _check_partial(cls, policy: str) -> str:
+        if policy not in cls.PARTIAL_POLICIES:
+            raise ClusterError(
+                f"partial policy {policy!r} not in {cls.PARTIAL_POLICIES}")
+        return policy
+
+    def set_partial_policy(self, policy: str) -> None:
+        """Switch the zero-live-replica degradation policy."""
+        self.partial_policy = self._check_partial(policy)
 
     def _emit_epoch(self, epoch: int, reason: str, **attrs) -> None:
         """Emit an epoch-bump event (called with the lock released —
@@ -141,15 +174,18 @@ class ClusterCatalog:
             epoch = self._epoch
         self._emit_epoch(epoch, "register", collection=spec.name)
 
-    def replace(self, spec: CollectionSpec) -> None:
-        """Swap a collection's layout (repartition / re-placement)."""
+    def replace(self, spec: CollectionSpec, reason: str = "replace",
+                **attrs) -> None:
+        """Swap a collection's layout (repartition / re-placement /
+        repair). ``reason``/``attrs`` annotate the epoch-bump event so
+        operators can tell an eviction from a repair registration."""
         with self._lock:
             if spec.name not in self._collections:
                 raise ClusterError(f"unknown collection {spec.name!r}")
             self._collections[spec.name] = spec
             self._epoch += 1
             epoch = self._epoch
-        self._emit_epoch(epoch, "replace", collection=spec.name)
+        self._emit_epoch(epoch, reason, collection=spec.name, **attrs)
 
     def drop(self, name: str) -> None:
         with self._lock:

@@ -1,0 +1,339 @@
+"""A deterministic chaos harness for the self-healing cluster.
+
+Chaos testing earns its keep only when a failure *reproduces*: a
+flake seen once in CI must replay, step for step, on a laptop. So
+everything here is driven by explicit seeded :class:`random.Random`
+streams and a discrete step clock — no wall-clock coupling, no global
+randomness:
+
+- :class:`ChaosEvent` — one scheduled fault action (``kill`` /
+  ``revive`` / ``degrade`` / ``restore``) at one step.
+- :class:`ChaosSchedule` — an immutable event list.
+  :meth:`ChaosSchedule.generate` synthesises one from an **explicit**
+  ``random.Random``: every kill gets a matching revive, at most
+  ``max_down`` peers are ever scheduled down at once (default
+  ``replication_factor - 1``, so a query always has a serving
+  replica), and degrades add latency without killing.
+- :class:`ChaosHarness` — interleaves the schedule with a live
+  workload. Each step applies due events, advances the failure
+  detector one probe tick, lets the repair engine drain, runs one
+  query, and checks the answer **against a single-owner oracle**
+  (byte-exact serialized comparison). After the schedule it drives
+  the cluster to convergence (membership settled, repair queue empty)
+  and then runs a steady-state pass in which any failover is a bug —
+  the healed cluster must route around nothing.
+
+:class:`ChaosReport` carries the verdict: wrong answers (must be 0),
+failovers/retries/partials during turbulence (informational),
+steady-state failovers (must be 0), repair and eviction counts, and
+latency percentiles over the live workload.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.catalog import ClusterError
+from repro.cluster.membership import ALIVE, DEAD, EVICTED
+from repro.obs.metrics import percentile
+
+__all__ = ["ChaosEvent", "ChaosSchedule", "ChaosHarness", "ChaosReport"]
+
+ACTIONS = ("kill", "revive", "degrade", "restore")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One fault-injection action at one schedule step."""
+
+    step: int
+    action: str      # "kill" | "revive" | "degrade" | "restore"
+    peer: str
+    extra_latency_s: float = 0.0   # degrade only
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ClusterError(
+                f"chaos action {self.action!r} not in {ACTIONS}")
+        if self.step < 0:
+            raise ClusterError(f"chaos step {self.step} must be >= 0")
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An immutable, replayable fault schedule over ``steps`` steps."""
+
+    steps: int
+    events: tuple[ChaosEvent, ...]
+
+    def due(self, step: int) -> list[ChaosEvent]:
+        """Events firing at ``step``, in schedule order."""
+        return [e for e in self.events if e.step == step]
+
+    def describe(self) -> list[dict]:
+        return [{"step": e.step, "action": e.action, "peer": e.peer,
+                 **({"extra_latency_s": e.extra_latency_s}
+                    if e.action == "degrade" else {})}
+                for e in self.events]
+
+    @classmethod
+    def generate(cls, rng: random.Random, peers: list[str],
+                 steps: int = 40, *, kill_rate: float = 0.15,
+                 degrade_rate: float = 0.10, max_down: int = 1,
+                 down_for: tuple[int, int] = (4, 10),
+                 degrade_for: tuple[int, int] = (2, 6),
+                 extra_latency_s: float = 0.002) -> "ChaosSchedule":
+        """Synthesise a schedule from an explicit seeded ``rng``.
+
+        The caller passes the :class:`random.Random` (never a bare
+        seed fished from ambient state): the same rng state always
+        yields the same schedule. Invariants: at most ``max_down``
+        peers are scheduled down at any step; every kill's revive
+        lands inside the schedule; a peer is touched by one fault at
+        a time (no degrade of a dead peer). The tail quarter of the
+        schedule is left quiet so the run ends on a healable cluster.
+        """
+        if not peers:
+            raise ClusterError("chaos schedule needs at least one peer")
+        if max_down < 0:
+            raise ClusterError(f"max_down {max_down} must be >= 0")
+        events: list[ChaosEvent] = []
+        down_until: dict[str, int] = {}     # peer -> revive step
+        slow_until: dict[str, int] = {}
+        quiet_from = steps - max(1, steps // 4)
+        for step in range(quiet_from):
+            # Strict inequality: a peer stays "touched" through the
+            # step its end-event fires, so a new fault on it can only
+            # start the step after — kill@s + revive@s on one peer
+            # would otherwise race on schedule order.
+            for peer, until in list(down_until.items()):
+                if until < step:
+                    del down_until[peer]
+            for peer, until in list(slow_until.items()):
+                if until < step:
+                    del slow_until[peer]
+            untouched = [p for p in peers
+                         if p not in down_until and p not in slow_until]
+            if untouched and len(down_until) < max_down \
+                    and rng.random() < kill_rate:
+                peer = rng.choice(untouched)
+                until = min(quiet_from,
+                            step + rng.randint(*down_for))
+                events.append(ChaosEvent(step, "kill", peer))
+                events.append(ChaosEvent(until, "revive", peer))
+                down_until[peer] = until
+                untouched.remove(peer)
+            if untouched and rng.random() < degrade_rate:
+                peer = rng.choice(untouched)
+                until = min(quiet_from,
+                            step + rng.randint(*degrade_for))
+                events.append(ChaosEvent(step, "degrade", peer,
+                                         extra_latency_s))
+                events.append(ChaosEvent(until, "restore", peer))
+                slow_until[peer] = until
+        events.sort(key=lambda e: (e.step, ACTIONS.index(e.action),
+                                   e.peer))
+        return cls(steps=steps, events=tuple(events))
+
+
+@dataclass
+class ChaosReport:
+    """What one chaos run did and how the cluster held up."""
+
+    steps: int = 0
+    queries: int = 0
+    wrong_answers: int = 0
+    failovers: int = 0
+    retries: int = 0
+    partial_shards: int = 0
+    evictions: int = 0
+    rejoins: int = 0
+    repairs_completed: int = 0
+    repairs_failed: int = 0
+    converged: bool = False
+    convergence_ticks: int = 0
+    steady_queries: int = 0
+    steady_failovers: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    wrong_steps: list[int] = field(default_factory=list)
+
+    @property
+    def p50_ms(self) -> float:
+        return percentile(self.latencies_s, 50) * 1000
+
+    @property
+    def p95_ms(self) -> float:
+        return percentile(self.latencies_s, 95) * 1000
+
+    @property
+    def p99_ms(self) -> float:
+        return percentile(self.latencies_s, 99) * 1000
+
+    @property
+    def ok(self) -> bool:
+        """The run's verdict: exact answers throughout, converged, and
+        a healed cluster that fails over on nothing."""
+        return (self.wrong_answers == 0 and self.converged
+                and self.steady_failovers == 0)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "steps": self.steps, "queries": self.queries,
+            "wrong_answers": self.wrong_answers,
+            "failovers": self.failovers, "retries": self.retries,
+            "partial_shards": self.partial_shards,
+            "evictions": self.evictions, "rejoins": self.rejoins,
+            "repairs_completed": self.repairs_completed,
+            "repairs_failed": self.repairs_failed,
+            "converged": self.converged,
+            "convergence_ticks": self.convergence_ticks,
+            "steady_queries": self.steady_queries,
+            "steady_failovers": self.steady_failovers,
+            "p50_ms": self.p50_ms, "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms, "ok": self.ok,
+        }
+
+
+class ChaosHarness:
+    """Interleaves a fault schedule with a live workload and checks
+    every answer against a pre-computed oracle.
+
+    ``queries`` is a list of ``(query_text, expected_serialized)``
+    pairs — the expected side computed once against an unsharded
+    single-owner federation (or any trusted oracle). Step ``i`` runs
+    query ``i mod len(queries)``, so every query shape sees every
+    fault phase across a long enough schedule.
+    """
+
+    def __init__(self, federation, schedule: ChaosSchedule, *,
+                 queries: list[tuple[str, str]],
+                 membership=None, repair=None,
+                 serialize=None, at: str = "local", strategy=None,
+                 convergence_ticks: int = 24, steady_passes: int = 2):
+        if not queries:
+            raise ClusterError("chaos harness needs at least one query")
+        self.federation = federation
+        self.schedule = schedule
+        self.queries = list(queries)
+        self.membership = membership if membership is not None \
+            else getattr(federation, "membership", None)
+        self.repair = repair if repair is not None \
+            else getattr(federation, "repair", None)
+        if self.membership is None:
+            raise ClusterError("chaos harness needs a membership tracker")
+        if serialize is None:
+            from repro.xquery.xdm import serialize_sequence
+            serialize = serialize_sequence
+        self.serialize = serialize
+        self.at = at
+        self.strategy = strategy
+        self.convergence_ticks = convergence_ticks
+        self.steady_passes = steady_passes
+        self._track_membership()
+
+    def _track_membership(self) -> None:
+        self._evictions = 0
+        self._rejoins = 0
+
+        def on_transition(peer: str, old: str, new_state: str) -> None:
+            if new_state == EVICTED:
+                self._evictions += 1
+            elif old in (DEAD, EVICTED) and new_state == ALIVE:
+                self._rejoins += 1
+
+        self.membership.subscribe(on_transition)
+
+    # -- fault application ----------------------------------------------------
+
+    def apply(self, event: ChaosEvent) -> None:
+        transport = self.federation.transport
+        if event.action == "kill":
+            transport.kill_peer(event.peer)
+        elif event.action == "revive":
+            transport.revive_peer(event.peer)
+            # An evicted peer's probes stopped (eviction is terminal
+            # for the detector); revival models a restarted process
+            # re-announcing itself to the membership.
+            if self.membership.state(event.peer) == EVICTED:
+                self.membership.rejoin(event.peer)
+        elif event.action == "degrade":
+            transport.degrade_peer(event.peer, event.extra_latency_s)
+        elif event.action == "restore":
+            transport.restore_peer(event.peer)
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self) -> ChaosReport:
+        report = ChaosReport(steps=self.schedule.steps)
+        for step in range(self.schedule.steps):
+            for event in self.schedule.due(step):
+                self.apply(event)
+            self.membership.tick()
+            if self.repair is not None:
+                self.repair.process()
+            self._query(step, report)
+        report.converged = self._converge(report)
+        self._steady_state(report)
+        if self.repair is not None:
+            stats = self.repair.stats()
+            report.repairs_completed = stats["completed"]
+            report.repairs_failed = stats["failed"]
+        report.evictions = self._evictions
+        report.rejoins = self._rejoins
+        return report
+
+    def _query(self, step: int, report: ChaosReport,
+               steady: bool = False) -> None:
+        query, expected = self.queries[step % len(self.queries)]
+        started = time.perf_counter()
+        kwargs = {"at": self.at}
+        if self.strategy is not None:
+            kwargs["strategy"] = self.strategy
+        try:
+            result = self.federation.run(query, **kwargs)
+        except ClusterError:
+            # A failed query is as wrong as a wrong one — with the
+            # schedule's max_down invariant this should never fire.
+            report.latencies_s.append(time.perf_counter() - started)
+            report.queries += 1
+            report.wrong_answers += 1
+            report.wrong_steps.append(step)
+            if steady:
+                report.steady_queries += 1
+            return
+        elapsed = time.perf_counter() - started
+        report.latencies_s.append(elapsed)
+        report.queries += 1
+        if self.serialize(result.items) != expected:
+            report.wrong_answers += 1
+            report.wrong_steps.append(step)
+        report.failovers += result.stats.failovers
+        report.retries += result.stats.retries
+        report.partial_shards += result.stats.partial_shards
+        if steady:
+            report.steady_queries += 1
+            report.steady_failovers += result.stats.failovers
+
+    def _converge(self, report: ChaosReport) -> bool:
+        """Tick until the detector settles and repair drains."""
+        for tick in range(self.convergence_ticks):
+            self.membership.tick()
+            if self.repair is not None:
+                self.repair.scan()
+                self.repair.process()
+            settled = self.membership.converged()
+            drained = self.repair is None or self.repair.pending() == 0
+            if settled and drained:
+                report.convergence_ticks = tick + 1
+                return True
+        report.convergence_ticks = self.convergence_ticks
+        return False
+
+    def _steady_state(self, report: ChaosReport) -> None:
+        """Post-convergence passes: the healed cluster must answer
+        every query exactly, with zero failovers."""
+        base = self.schedule.steps
+        for offset in range(self.steady_passes * len(self.queries)):
+            self._query(base + offset, report, steady=True)

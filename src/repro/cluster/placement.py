@@ -103,6 +103,7 @@ def create_sharded_collection(federation: "Federation",
     spec = CollectionSpec(name=name, document=document_name,
                           container_path=container_path, member=member,
                           shards=tuple(shards),
-                          partitioning=partitioning_kind)
+                          partitioning=partitioning_kind,
+                          replication_factor=replication_factor)
     catalog.register(spec)
     return spec

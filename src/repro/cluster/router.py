@@ -49,6 +49,7 @@ scatter-gather caveat, documented rather than policed.
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Callable
@@ -57,7 +58,10 @@ from repro.cluster.catalog import (
     ClusterCatalog, ClusterError, CollectionSpec, ShardInfo,
 )
 from repro.cluster.gather import gather_plan, merge_shard_documents
-from repro.errors import NetworkError
+from repro.errors import (
+    NetworkError, PeerUnavailableError, TransientNetworkError,
+)
+from repro.runtime.transport import RetryPolicy
 from repro.net.stats import RunStats
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, bind_stats_span, child_span
@@ -78,6 +82,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 XRPC_SCHEME = "xrpc://"
 
 _DOC_FUNCTIONS = ("doc", "fn:doc")
+
+#: Router-level default when the catalog carries no policy: a couple of
+#: in-place retries per replica before failing over, zero base backoff
+#: (the simulated wire has no real congestion to wait out).
+_DEFAULT_RETRY = RetryPolicy()
+
+
+class ShardUnavailableError(ClusterError):
+    """Every replica of one shard failed (retries and failover
+    exhausted). Distinct from other :class:`ClusterError`\\ s so the
+    graceful-degradation policy can swallow exactly this case."""
 
 
 def rewrite_doc_uris(expr: Expr,
@@ -226,13 +241,14 @@ def _renumber_shard_fragments(outcomes: list["ScatterOutcome"]) -> None:
 class ScatterOutcome:
     """One shard call's private accounting, merged after the gather."""
 
-    __slots__ = ("results", "stats", "counter", "failovers")
+    __slots__ = ("results", "stats", "counter", "failovers", "retries")
 
     def __init__(self) -> None:
         self.results: list[list] = []
         self.stats = RunStats()
         self.counter = CostCounter()
         self.failovers = 0
+        self.retries = 0
 
 
 class ClusterRouter:
@@ -258,6 +274,10 @@ class ClusterRouter:
         self.monitor = monitor
         self.events = monitor.events if monitor is not None else None
         self.health = monitor.health if monitor is not None else None
+        # Passive failure-detection evidence: every attempt outcome
+        # feeds the membership tracker (when one is attached), so the
+        # detector converges from live traffic between probe ticks.
+        self.membership = getattr(federation, "membership", None)
         self._scatter_calls = metrics.counter(
             "scatter_calls_total", "scatter fan-outs per collection",
             ("collection",))
@@ -268,6 +288,14 @@ class ClusterRouter:
         self._scatter_failovers = metrics.counter(
             "scatter_failovers_total",
             "replica switches after wire faults", ("collection",))
+        self._scatter_retries = metrics.counter(
+            "scatter_retries_total",
+            "in-place retries after transient wire faults",
+            ("collection",))
+        self._scatter_partials = metrics.counter(
+            "scatter_partial_shards_total",
+            "shards answered as flagged-empty under partial=allow",
+            ("collection",))
 
     # -- replica selection --------------------------------------------------
 
@@ -377,25 +405,46 @@ class ClusterRouter:
                     return outcome
                 # Scatter workers are fresh threads with no ambient
                 # span; the explicit parent hands them the tree.
+                partial = False
                 with child_span("shard", parent=scatter_span,
                                 shard=shard.index, collection=spec.name):
-                    outcome.results = self._with_failover(
-                        shard, outcome,
-                        lambda replica: self.run._round_trip(
-                            from_peer, replica, calls,
-                            shard_bodies[index],
-                            cache_scope=shard_key, shard_epoch=epoch,
-                            stats=outcome.stats,
-                            remote_counter=outcome.counter),
-                        collection=spec.name)
+                    try:
+                        outcome.results = self._with_failover(
+                            shard, outcome,
+                            lambda replica: self.run._round_trip(
+                                from_peer, replica, calls,
+                                shard_bodies[index],
+                                cache_scope=shard_key, shard_epoch=epoch,
+                                stats=outcome.stats,
+                                remote_counter=outcome.counter),
+                            collection=spec.name)
+                    except ShardUnavailableError:
+                        if self.catalog.partial_policy != "allow":
+                            raise
+                        # Graceful degradation: the shard has zero
+                        # serving replicas; answer () per call and flag
+                        # the hole instead of failing the whole query.
+                        partial = True
+                        outcome.results = [[] for _ in calls]
+                        outcome.stats.partial_shards = 1
+                        if self.events is not None:
+                            self.events.emit(
+                                "partial_result",
+                                f"shard {shard_key} unavailable; "
+                                f"returning flagged partial answer "
+                                f"(partial=allow)",
+                                severity="warning",
+                                collection=spec.name, shard=shard.index)
                 outcome.stats.per_shard[shard_key] = {
                     "bytes": outcome.stats.total_transferred_bytes,
                     "messages": outcome.stats.messages,
                     "sim_s": outcome.stats.times.total,
                     "cache_hits": outcome.stats.cache_hits,
                     "failovers": outcome.failovers,
+                    "retries": outcome.retries,
                     "skips": 0,
                     "skipped": False,
+                    "partial": partial,
                 }
                 return outcome
 
@@ -416,17 +465,24 @@ class ClusterRouter:
                                  stats=stats, counter=counter)
             skipped = sum(o.stats.shards_skipped for o in outcomes)
             failovers = sum(o.failovers for o in outcomes)
+            retries = sum(o.retries for o in outcomes)
+            partials = sum(o.stats.partial_shards for o in outcomes)
             self._scatter_calls.labels(spec.name).inc()
             if skipped:
                 self._scatter_skips.labels(spec.name).inc(skipped)
             if failovers:
                 self._scatter_failovers.labels(spec.name).inc(failovers)
+            if retries:
+                self._scatter_retries.labels(spec.name).inc(retries)
+            if partials:
+                self._scatter_partials.labels(spec.name).inc(partials)
             if scatter_span is not None:
                 per_shard: dict[str, dict] = {}
                 for outcome in outcomes:
                     per_shard.update(outcome.stats.per_shard)
                 scatter_span.set(shards_skipped=skipped,
-                                 failovers=failovers,
+                                 failovers=failovers, retries=retries,
+                                 partial_shards=partials,
                                  per_shard=per_shard)
             _renumber_shard_fragments(outcomes)
             return combine([outcome.results for outcome in outcomes])
@@ -471,6 +527,7 @@ class ClusterRouter:
                 "sim_s": outcome.stats.times.total,
                 "cache_hits": outcome.stats.cache_hits,
                 "failovers": outcome.failovers,
+                "retries": outcome.retries,
                 "skips": 0,
                 "skipped": False,
             }
@@ -480,8 +537,11 @@ class ClusterRouter:
         self._merge_outcomes(outcomes, shards=len(spec.shards),
                              stats=stats)
         failovers = sum(o.failovers for o in outcomes)
+        retries = sum(o.retries for o in outcomes)
         if failovers:
             self._scatter_failovers.labels(spec.name).inc(failovers)
+        if retries:
+            self._scatter_retries.labels(spec.name).inc(retries)
         texts = [outcome.results[0] for outcome in outcomes]
         shard_docs = [
             parse_document(text,
@@ -571,43 +631,78 @@ class ClusterRouter:
     def _with_failover(self, shard: ShardInfo, outcome: ScatterOutcome,
                        attempt: Callable[[str], list],
                        collection: str = "") -> list:
-        """Run ``attempt`` against replicas in health-then-load order;
-        wire faults fail over to the next replica (counted and, with a
-        monitor attached, event-logged), query-level errors propagate
-        immediately. Each attempt's wall time and outcome feed the
-        per-peer health windows."""
+        """Run ``attempt`` against replicas in health-then-load order.
+
+        *Transient* wire faults (injected faults, request timeouts —
+        :class:`~repro.errors.TransientNetworkError`) are first retried
+        **in place** on the same replica under the catalog's
+        :class:`~repro.runtime.transport.RetryPolicy`: up to
+        ``attempts`` tries per replica, drawing from one shared
+        ``budget`` across the whole shard call, with seeded-jitter
+        exponential backoff between tries. *Fatal* faults
+        (:class:`PeerDownError` — the peer is gone, retrying the same
+        wire is pointless) skip straight to the next replica; each
+        replica switch is a counted failover. Query-level errors
+        propagate immediately — they are not :class:`NetworkError`\\ s
+        and must never burn retries or trigger failover.
+
+        Every attempt's wall time and outcome feed the per-peer health
+        windows, and (when a membership tracker is attached) wire-fault
+        outcomes feed its suspicion ladder as passive evidence.
+        """
         order = self.replica_order(shard)
+        policy = self.catalog.retry_policy or _DEFAULT_RETRY
+        rng = random.Random(policy.seed)
+        budget = policy.budget
         last_error: NetworkError | None = None
         health = self.health
+        membership = self.membership
         for position, replica in enumerate(order):
-            started = time.perf_counter() if health is not None else 0.0
-            try:
-                result = attempt(replica)
-            except NetworkError as exc:
-                if health is not None:
-                    health.record(replica,
-                                  time.perf_counter() - started,
-                                  ok=False)
-                last_error = exc
-                if position + 1 < len(order):
-                    outcome.failovers += 1
-                    if self.events is not None:
-                        self.events.emit(
-                            "failover",
-                            f"shard {collection}#s{shard.index}: "
-                            f"{replica} failed "
-                            f"({type(exc).__name__}), trying "
-                            f"{order[position + 1]}",
-                            severity="warning", collection=collection,
-                            shard=shard.index, replica=replica,
-                            next=order[position + 1])
-            else:
-                if health is not None:
-                    health.record(replica,
-                                  time.perf_counter() - started,
-                                  ok=True)
-                return result
-        raise ClusterError(
+            for try_index in range(max(1, policy.attempts)):
+                started = time.perf_counter()
+                try:
+                    result = attempt(replica)
+                except NetworkError as exc:
+                    if health is not None:
+                        health.record(replica,
+                                      time.perf_counter() - started,
+                                      ok=False)
+                    if membership is not None and isinstance(
+                            exc, (TransientNetworkError,
+                                  PeerUnavailableError)):
+                        membership.record_failure(replica, exc)
+                    last_error = exc
+                    if isinstance(exc, TransientNetworkError) \
+                            and try_index + 1 < policy.attempts \
+                            and budget > 0:
+                        budget -= 1
+                        outcome.retries += 1
+                        delay = policy.backoff_s(try_index, rng)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    break  # fatal fault or retries spent: fail over
+                else:
+                    if health is not None:
+                        health.record(replica,
+                                      time.perf_counter() - started,
+                                      ok=True)
+                    if membership is not None:
+                        membership.record_success(replica)
+                    return result
+            if position + 1 < len(order):
+                outcome.failovers += 1
+                if self.events is not None:
+                    self.events.emit(
+                        "failover",
+                        f"shard {collection}#s{shard.index}: "
+                        f"{replica} failed "
+                        f"({type(last_error).__name__}), trying "
+                        f"{order[position + 1]}",
+                        severity="warning", collection=collection,
+                        shard=shard.index, replica=replica,
+                        next=order[position + 1])
+        raise ShardUnavailableError(
             f"all {len(order)} replicas of shard {shard.index} "
             f"({', '.join(order)}) failed") from last_error
 
@@ -640,6 +735,7 @@ class ClusterRouter:
         for outcome in outcomes:
             stats.merge(outcome.stats)
             stats.failovers += outcome.failovers
+            stats.retries += outcome.retries
             counter.ticks += outcome.counter.ticks
             counter.nodes_visited += outcome.counter.nodes_visited
             counter.docs_opened += outcome.counter.docs_opened

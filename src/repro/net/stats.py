@@ -136,6 +136,9 @@ class RunStats:
     shards_skipped: int = 0      # scatter calls avoided by value-index
                                  # probes proving the shard empty
     failovers: int = 0           # replica switches after wire faults
+    retries: int = 0             # same-replica retries of transient faults
+    partial_shards: int = 0      # shards absent from the answer under
+                                 # the partial="allow" degradation policy
     times: TimeBreakdown = field(default_factory=TimeBreakdown)
     #: The physical plan that produced this run (set by the federation
     #: for every execution; ``merge`` keeps the receiver's — shard
@@ -185,6 +188,8 @@ class RunStats:
         self.scatter_shards += other.scatter_shards
         self.shards_skipped += other.shards_skipped
         self.failovers += other.failovers
+        self.retries += other.retries
+        self.partial_shards += other.partial_shards
         self.times.shred += other.times.shred
         self.times.local_exec += other.times.local_exec
         self.times.serialize += other.times.serialize
@@ -206,6 +211,8 @@ class RunStats:
             "scatter_shards": self.scatter_shards,
             "shards_skipped": self.shards_skipped,
             "failovers": self.failovers,
+            "retries": self.retries,
+            "partial_shards": self.partial_shards,
             "total_time_s": self.times.total,
             "times": self.times.as_dict(),
             "plan": self.plan.as_dict() if self.plan is not None else None,

@@ -32,6 +32,15 @@ kind                      emitted by
 ``health_restored``       health tracker score recovered past restore threshold
 ``alert_fired``           SLO burn-rate rule breached (once per breach)
 ``alert_resolved``        burn rate fell back under the resolve ratio
+``membership_suspect``    failure detector: replica entered *suspect*
+``membership_dead``       failure detector: replica declared *dead*
+``membership_alive``      failure detector: replica revived / rejoined
+``replica_evicted``       detector evicted a replica from shard placements
+``partial_result``        scatter answered around a dead shard (partial=allow)
+``repair_started``        repair engine began re-replicating a fragment
+``repair_completed``      fragment re-replicated and registered
+``repair_failed``         repair attempt abandoned (source died, no target)
+``repair_queue_full``     bounded repair queue dropped a task
 ========================  =====================================================
 """
 

@@ -22,14 +22,17 @@ from repro.runtime.cache import CacheStats, ResultCache
 from repro.runtime.engine import EngineClosedError, FederationEngine
 from repro.runtime.metrics import MetricsAggregator, QueryRecord, percentile
 from repro.runtime.transport import (Exchange, FaultInjectedError,
-                                     LoopbackTransport, PeerDownError,
-                                     SimulatedTransport, Transport)
+                                     FaultPlan, LoopbackTransport,
+                                     PeerDownError, RequestTimeoutError,
+                                     RetryPolicy, SimulatedTransport,
+                                     Transport)
 
 __all__ = [
     "BulkBatcher",
     "CacheStats", "ResultCache",
     "EngineClosedError", "FederationEngine",
     "MetricsAggregator", "QueryRecord", "percentile",
-    "Exchange", "FaultInjectedError", "LoopbackTransport",
-    "PeerDownError", "SimulatedTransport", "Transport",
+    "Exchange", "FaultInjectedError", "FaultPlan", "LoopbackTransport",
+    "PeerDownError", "RequestTimeoutError", "RetryPolicy",
+    "SimulatedTransport", "Transport",
 ]

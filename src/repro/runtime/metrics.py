@@ -108,6 +108,8 @@ class MetricsAggregator:
         cache_saved = sum(r.stats.cache_saved_bytes for r in completed)
         scatter_shards = sum(r.stats.scatter_shards for r in completed)
         failovers = sum(r.stats.failovers for r in completed)
+        retries = sum(r.stats.retries for r in completed)
+        partial_shards = sum(r.stats.partial_shards for r in completed)
         per_collection = self._per_collection(completed)
         plans: dict[str, int] = {}
         for record in completed:
@@ -130,6 +132,8 @@ class MetricsAggregator:
             "cache_saved_bytes": cache_saved,
             "scatter_shards": scatter_shards,
             "failovers": failovers,
+            "retries": retries,
+            "partial_shards": partial_shards,
             "per_collection": per_collection,
             "plans": plans,
         }

@@ -38,7 +38,9 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import NetworkError
+from repro.errors import (
+    NetworkError, PeerUnavailableError, TransientNetworkError,
+)
 from repro.net.costmodel import CostModel
 from repro.net.stats import RunStats
 from repro.obs.metrics import MetricsRegistry
@@ -48,13 +50,78 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.system.federation import Peer
 
 
-class FaultInjectedError(NetworkError):
-    """A transport-level fault injected by :class:`SimulatedTransport`."""
+class FaultInjectedError(TransientNetworkError):
+    """A transport-level fault injected by :class:`SimulatedTransport`.
+
+    Transient by definition: the fault plan failed *this transmission*,
+    not the peer, so the router's retry budget applies before failover.
+    """
 
 
-class PeerDownError(NetworkError):
+class RequestTimeoutError(TransientNetworkError):
+    """One transmission exceeded :attr:`Transport.request_timeout_s`.
+
+    The caller waited out the timeout and gave up; the peer may well be
+    healthy-but-slow, so the error is transient (retry budget applies).
+    Carries the injected+simulated delay that tripped the limit.
+    """
+
+    def __init__(self, message: str, peer: str | None = None,
+                 attempt: int | None = None,
+                 delay_s: float = 0.0, timeout_s: float = 0.0):
+        super().__init__(message, peer=peer, attempt=attempt)
+        self.delay_s = delay_s
+        self.timeout_s = timeout_s
+
+
+class PeerDownError(PeerUnavailableError):
     """The destination peer was killed via :meth:`Transport.kill_peer`
     (the cluster layer's replica-failure drill)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for *transient* wire faults (injected faults,
+    per-attempt timeouts) — distinct from :class:`PeerDownError`
+    failover, which switches replica immediately.
+
+    ``attempts`` bounds tries per replica (including the first);
+    ``budget`` bounds total retries one logical call may spend across
+    all of a shard's replicas, so a call cannot burn ``attempts ×
+    replicas`` tries under a fault storm. Backoff is exponential
+    (``base_backoff_s * 2^retry`` capped at ``max_backoff_s``) with
+    up to ``jitter`` fraction subtracted from a seeded
+    ``random.Random`` — deterministic per call site, never the module
+    global.
+    """
+
+    attempts: int = 3
+    budget: int = 8
+    base_backoff_s: float = 0.0
+    max_backoff_s: float = 0.050
+    jitter: float = 0.5
+    seed: int = 20090329
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts {self.attempts} must be >= 1")
+        if self.budget < 0:
+            raise ValueError(f"budget {self.budget} must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter {self.jitter} must be in [0, 1]")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff seconds must be >= 0")
+
+    def backoff_s(self, retry_index: int, rng: random.Random) -> float:
+        """Sleep before retry ``retry_index`` (0-based): exponential,
+        capped, jittered downward so synchronized retries spread out."""
+        if self.base_backoff_s <= 0.0:
+            return 0.0
+        base = min(self.max_backoff_s,
+                   self.base_backoff_s * (2 ** retry_index))
+        if self.jitter <= 0.0:
+            return base
+        return base * (1.0 - self.jitter * rng.random())
 
 
 @dataclass
@@ -100,6 +167,11 @@ class Transport:
         #: A :class:`~repro.obs.events.EventLog` installed by a fleet
         #: monitor; peer lifecycle transitions emit into it when set.
         self.events = None
+        #: Per-attempt timeout: a transmission whose injected+simulated
+        #: delay exceeds this raises :class:`RequestTimeoutError` after
+        #: waiting out the timeout (None ⇒ callers wait forever — the
+        #: pre-PR-9 behaviour).
+        self.request_timeout_s: float | None = None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._wire_messages = self.metrics.counter(
             "wire_messages_total", "delivered SOAP messages", ("peer",))
@@ -246,9 +318,20 @@ class Transport:
 
     # -- hooks for simulated wires ------------------------------------------
 
+    def set_request_timeout(self, timeout_s: float | None) -> None:
+        """Set (or clear) the per-attempt timeout."""
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s {timeout_s} must be > 0")
+        self.request_timeout_s = timeout_s
+
     def _transmit(self, peer_name: str, size: int) -> None:
         """Called once per message/document put on the wire; subclasses
         may sleep or raise here."""
+
+    def _wire_delay(self, peer_name: str, size: int) -> float:
+        """Wall-clock seconds this transmission will spend on the wire
+        beyond injected degradation (simulated wires override)."""
+        return 0.0
 
     def _gated_transmit(self, peer_name: str, size: int) -> None:
         """One transmission under the peer's capacity gate. The gate
@@ -258,21 +341,48 @@ class Transport:
         directions)."""
         if self.is_down(peer_name):
             raise PeerDownError(f"peer {peer_name!r} is down "
-                                f"({size} bytes undeliverable)")
+                                f"({size} bytes undeliverable)",
+                                peer=peer_name)
         gate = self._gate(peer_name)
         if gate is not None:
             gate.acquire()
         try:
+            delay = 0.0
             if self._slow:
                 # Lock-free read: a racing degrade/restore only skews
                 # the injected delay of in-flight transmissions.
-                delay = self._slow.get(peer_name)
-                if delay:
-                    time.sleep(delay)
+                delay = self._slow.get(peer_name) or 0.0
+            delay += self._wire_delay(peer_name, size)
+            # Faults fire before any waiting: a dropped transmission
+            # costs the caller nothing but the retry.
             self._transmit(peer_name, size)
+            timeout = self.request_timeout_s
+            if timeout is not None and delay > timeout:
+                # The caller waits out the timeout, then gives up —
+                # the transmission never completes.
+                time.sleep(timeout)
+                raise RequestTimeoutError(
+                    f"transmission of {size} bytes to {peer_name!r} "
+                    f"timed out after {timeout * 1000:.1f} ms "
+                    f"(wire delay {delay * 1000:.1f} ms)",
+                    peer=peer_name, delay_s=delay, timeout_s=timeout)
+            if delay > 0:
+                time.sleep(delay)
         finally:
             if gate is not None:
                 gate.release()
+
+    def probe(self, peer_name: str, nbytes: int = 64) -> float:
+        """One heartbeat-sized transmission to ``peer_name``, returning
+        its wall-clock seconds. Raises exactly what real traffic would
+        (:class:`PeerDownError`, :class:`FaultInjectedError`,
+        :class:`RequestTimeoutError`), so a failure detector probing
+        through this sees the same wire queries see. Probes skip the
+        ``wire_*`` delivered-traffic counters — heartbeats are not
+        workload."""
+        started = time.perf_counter()
+        self._gated_transmit(peer_name, nbytes)
+        return time.perf_counter() - started
 
     # -- the two wire operations --------------------------------------------
 
@@ -300,7 +410,8 @@ class Transport:
             # double-count the undelivered request in the caller's
             # stats. (Mid-transmission faults do leave their charges —
             # those bytes were genuinely attempted.)
-            raise PeerDownError(f"peer {peer.name!r} is down")
+            raise PeerDownError(f"peer {peer.name!r} is down",
+                                peer=peer.name)
         if request_xml is None:
             request_xml = request.to_xml()
         request_bytes = len(request_xml.encode())
@@ -331,7 +442,8 @@ class Transport:
         text over the wire (the caller shreds it)."""
         if self.is_down(owner.name):
             # A dead owner can't even serialise: fail before charging.
-            raise PeerDownError(f"peer {owner.name!r} is down")
+            raise PeerDownError(f"peer {owner.name!r} is down",
+                                peer=owner.name)
         text = owner.serialized(local_name)
         size = len(text.encode())
         model = self.cost_model
@@ -362,22 +474,43 @@ class LoopbackTransport(Transport):
 @dataclass
 class FaultPlan:
     """Deterministic fault injection: each transmission fails with
-    probability ``rate`` (seeded RNG shared across threads)."""
+    probability ``rate``.
+
+    Determinism contract (the chaos harness replays on it): by default
+    the decision for a peer's *n*-th transmission is a pure function of
+    ``(seed, peer, n)`` — each peer gets its own derived stream, so
+    cross-peer thread interleaving cannot reshuffle which transmission
+    eats which draw. Passing an explicit seeded ``rng``
+    (:class:`random.Random`, the repo convention) instead draws from
+    that shared generator under a lock — caller-managed determinism for
+    single-threaded schedules. Module-global randomness is never used.
+    """
 
     rate: float = 0.0
     seed: int = 20090329
-    _rng: random.Random = field(init=False, repr=False)
+    rng: random.Random | None = None
+    _counts: dict[str, int] = field(init=False, repr=False,
+                                    default_factory=dict)
     _lock: threading.Lock = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random(self.seed)
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate {self.rate} must be in [0, 1]")
         self._lock = threading.Lock()
 
-    def should_fail(self) -> bool:
+    def should_fail(self, peer_name: str = "") -> bool:
         if self.rate <= 0.0:
             return False
         with self._lock:
-            return self._rng.random() < self.rate
+            if self.rng is not None:
+                return self.rng.random() < self.rate
+            ordinal = self._counts.get(peer_name, 0) + 1
+            self._counts[peer_name] = ordinal
+        # String seeds hash via SHA-512 (seed version 2): stable across
+        # processes and PYTHONHASHSEED, unlike hash().
+        draw = random.Random(
+            f"{self.seed}|{peer_name}|{ordinal}").random()
+        return draw < self.rate
 
 
 class SimulatedTransport(Transport):
@@ -387,7 +520,9 @@ class SimulatedTransport(Transport):
     seconds (1.0 = real time; benchmarks use small fractions so sweeps
     stay fast). ``extra_latency_s`` adds fixed per-transmission delay on
     top of the cost model's, and ``fault_rate`` drops transmissions with
-    a :class:`FaultInjectedError` from a seeded RNG.
+    a :class:`FaultInjectedError` per the :class:`FaultPlan` contract
+    (``fault_rng`` injects an explicit shared generator instead of the
+    per-peer derived streams).
     """
 
     def __init__(self, cost_model: CostModel | None = None,
@@ -396,18 +531,20 @@ class SimulatedTransport(Transport):
                  extra_latency_s: float = 0.0,
                  fault_rate: float = 0.0,
                  fault_seed: int = 20090329,
+                 fault_rng: random.Random | None = None,
                  metrics: MetricsRegistry | None = None):
         super().__init__(cost_model, per_peer_concurrency, metrics)
         self.time_scale = time_scale
         self.extra_latency_s = extra_latency_s
-        self.faults = FaultPlan(rate=fault_rate, seed=fault_seed)
+        self.faults = FaultPlan(rate=fault_rate, seed=fault_seed,
+                                rng=fault_rng)
 
     def _transmit(self, peer_name: str, size: int) -> None:
-        if self.faults.should_fail():
+        if self.faults.should_fail(peer_name):
             raise FaultInjectedError(
                 f"injected fault transmitting {size} bytes to "
-                f"{peer_name!r}")
-        delay = (self.cost_model.network_time(size) * self.time_scale
-                 + self.extra_latency_s)
-        if delay > 0:
-            time.sleep(delay)
+                f"{peer_name!r}", peer=peer_name)
+
+    def _wire_delay(self, peer_name: str, size: int) -> float:
+        return (self.cost_model.network_time(size) * self.time_scale
+                + self.extra_latency_s)

@@ -189,6 +189,11 @@ class Federation:
         #: observability off, at the cost of one attribute check per
         #: query).
         self.monitor = None
+        #: The attached failure detector / repair engine (set by
+        #: ``MembershipTracker.attach`` / ``RepairEngine.attach``;
+        #: None ⇒ no self-healing, the pre-PR-9 behaviour).
+        self.membership = None
+        self.repair = None
 
     @property
     def planner(self) -> QueryPlanner:
