@@ -24,7 +24,14 @@ logical collection:
   shard fragments onto healthy peers after evictions;
 * :mod:`repro.cluster.chaos` — deterministic seeded fault schedules
   and the harness that interleaves them with an oracle-checked live
-  workload.
+  workload;
+* :mod:`repro.cluster.rebalance` — the load-aware control loop: one
+  shared peer/shard scoring function and migration planning (split a
+  hot shard, move a replica to a cooler peer, drain a peer for
+  decommission);
+* :mod:`repro.cluster.migrate` — staged plan execution behind the
+  epoch machinery: copy → byte-identity verify → atomic cutover →
+  lazy retirement, with rollback/retry on mid-migration deaths.
 
 Quickstart::
 
@@ -62,8 +69,13 @@ from repro.cluster.partitioner import (
     HashPartitioner, Partitioner, RangePartitioner, collection_members,
     make_partitioner, partition_document,
 )
+from repro.cluster.migrate import BoundaryPartitioner, MigrationExecutor
 from repro.cluster.placement import (
-    create_sharded_collection, round_robin_placement, shard_local_name,
+    InsufficientHealthyPeersError, create_sharded_collection,
+    healthy_peers, round_robin_placement, shard_local_name,
+)
+from repro.cluster.rebalance import (
+    DrainPlan, LoadScorer, MovePlan, PeerScore, Rebalancer, SplitPlan,
 )
 from repro.cluster.repair import RepairEngine, RepairTask
 from repro.cluster.router import (
@@ -75,10 +87,13 @@ __all__ = [
     "HashPartitioner", "Partitioner", "RangePartitioner",
     "collection_members", "make_partitioner", "partition_document",
     "create_sharded_collection", "round_robin_placement",
-    "shard_local_name",
+    "shard_local_name", "healthy_peers",
+    "InsufficientHealthyPeersError",
     "ClusterRouter", "ShardUnavailableError", "rewrite_doc_uris",
     "aggregate_combiner", "concatenate", "merge_shard_documents",
     "ALIVE", "SUSPECT", "DEAD", "EVICTED", "MembershipTracker",
     "RepairEngine", "RepairTask",
     "ChaosEvent", "ChaosSchedule", "ChaosHarness", "ChaosReport",
+    "PeerScore", "LoadScorer", "MovePlan", "SplitPlan", "DrainPlan",
+    "Rebalancer", "MigrationExecutor", "BoundaryPartitioner",
 ]

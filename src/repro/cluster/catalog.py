@@ -125,6 +125,8 @@ class ClusterCatalog:
         self._epoch = 0
         self._collections: dict[str, CollectionSpec] = {}
         self._down: set[str] = set()
+        self._draining: set[str] = set()
+        self._reasons: dict[str, str] = {}   # collection -> last reason
         #: A :class:`~repro.obs.events.EventLog` installed by a fleet
         #: monitor; every epoch bump emits into it when set.
         self.events = None
@@ -170,6 +172,7 @@ class ClusterCatalog:
                 raise ClusterError(
                     f"collection {spec.name!r} already registered")
             self._collections[spec.name] = spec
+            self._reasons[spec.name] = "register"
             self._epoch += 1
             epoch = self._epoch
         self._emit_epoch(epoch, "register", collection=spec.name)
@@ -183,6 +186,7 @@ class ClusterCatalog:
             if spec.name not in self._collections:
                 raise ClusterError(f"unknown collection {spec.name!r}")
             self._collections[spec.name] = spec
+            self._reasons[spec.name] = reason
             self._epoch += 1
             epoch = self._epoch
         self._emit_epoch(epoch, reason, collection=spec.name, **attrs)
@@ -191,6 +195,7 @@ class ClusterCatalog:
         with self._lock:
             if self._collections.pop(name, None) is None:
                 raise ClusterError(f"unknown collection {name!r}")
+            self._reasons.pop(name, None)
             self._epoch += 1
             epoch = self._epoch
         self._emit_epoch(epoch, "drop", collection=name)
@@ -243,6 +248,36 @@ class ClusterCatalog:
         with self._lock:
             return frozenset(self._down)
 
+    # -- draining (planned decommission) ------------------------------------
+
+    def set_draining(self, peer_name: str, draining: bool = True) -> None:
+        """Mark/unmark ``peer_name`` as draining. A draining peer keeps
+        serving the reads it already holds but stops receiving new
+        placements (repair targets, rebalance destinations, fresh
+        collections) while the rebalancer migrates its fragments away.
+        Advisory only — no epoch bump, placements are untouched."""
+        changed = False
+        with self._lock:
+            if draining and peer_name not in self._draining:
+                self._draining.add(peer_name)
+                changed = True
+            elif not draining and peer_name in self._draining:
+                self._draining.discard(peer_name)
+                changed = True
+        if changed and self.events is not None:
+            self.events.emit(
+                "peer_draining" if draining else "peer_undrained",
+                f"peer {peer_name} {'draining for decommission' if draining else 'accepting placements again'}",
+                severity="info", peer=peer_name)
+
+    def is_draining(self, peer_name: str) -> bool:
+        with self._lock:
+            return peer_name in self._draining
+
+    def draining_peers(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._draining)
+
     def live_replicas(self, shard: ShardInfo) -> tuple[str, ...]:
         """The shard's replicas not currently marked down (all of them
         when every replica is marked down — a dead cluster should fail
@@ -255,19 +290,32 @@ class ClusterCatalog:
     # -- introspection ------------------------------------------------------
 
     def describe(self) -> dict[str, object]:
-        """A JSON-able snapshot for examples and benchmarks."""
+        """A JSON-able snapshot for examples, benchmarks, and the
+        operator console: per-shard placements with live-replica
+        counts, plus each collection's replication target and the
+        reason of its last epoch-bumping mutation."""
         with self._lock:
+            down = set(self._down)
             return {
                 "epoch": self._epoch,
-                "down": sorted(self._down),
+                "down": sorted(down),
+                "draining": sorted(self._draining),
                 "collections": {
                     spec.name: {
                         "document": spec.document,
                         "partitioning": spec.partitioning,
+                        "replication_factor": spec.replication_factor,
+                        "target_replication": spec.target_replication,
+                        "last_reason": self._reasons.get(spec.name,
+                                                         "register"),
                         "shards": [
                             {"index": s.index,
                              "local_name": s.local_name,
                              "replicas": list(s.replicas),
+                             "live": [r for r in s.replicas
+                                      if r not in down],
+                             "live_count": sum(1 for r in s.replicas
+                                               if r not in down),
                              "members": s.members}
                             for s in spec.shards
                         ],

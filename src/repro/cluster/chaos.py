@@ -41,16 +41,23 @@ from repro.obs.metrics import percentile
 
 __all__ = ["ChaosEvent", "ChaosSchedule", "ChaosHarness", "ChaosReport"]
 
-ACTIONS = ("kill", "revive", "degrade", "restore")
+ACTIONS = ("kill", "revive", "degrade", "restore",
+           "split", "move", "drain", "undrain")
+
+#: Rebalance operations dispatched to a :class:`Rebalancer` instead of
+#: the transport. ``split``/``move`` carry no peer (the rebalancer
+#: picks deterministically from cumulative heat); ``drain``/``undrain``
+#: name the decommission target.
+REBALANCE_ACTIONS = ("split", "move", "drain", "undrain")
 
 
 @dataclass(frozen=True)
 class ChaosEvent:
-    """One fault-injection action at one schedule step."""
+    """One fault-injection (or rebalance) action at one schedule step."""
 
     step: int
-    action: str      # "kill" | "revive" | "degrade" | "restore"
-    peer: str
+    action: str      # one of ACTIONS
+    peer: str        # "" for split/move (rebalancer picks the victim)
     extra_latency_s: float = 0.0   # degrade only
 
     def __post_init__(self) -> None:
@@ -84,7 +91,9 @@ class ChaosSchedule:
                  degrade_rate: float = 0.10, max_down: int = 1,
                  down_for: tuple[int, int] = (4, 10),
                  degrade_for: tuple[int, int] = (2, 6),
-                 extra_latency_s: float = 0.002) -> "ChaosSchedule":
+                 extra_latency_s: float = 0.002,
+                 splits: int = 0, moves: int = 0,
+                 drains: int = 0) -> "ChaosSchedule":
         """Synthesise a schedule from an explicit seeded ``rng``.
 
         The caller passes the :class:`random.Random` (never a bare
@@ -94,6 +103,13 @@ class ChaosSchedule:
         lands inside the schedule; a peer is touched by one fault at
         a time (no degrade of a dead peer). The tail quarter of the
         schedule is left quiet so the run ends on a healable cluster.
+
+        ``splits``/``moves``/``drains`` interleave that many rebalance
+        operations into the active region (their rng draws come after
+        the fault draws, so schedules generated without them replay
+        byte-identically). Every drain's ``undrain`` lands at the
+        quiet boundary, so convergence sees the full fleet as
+        placement-eligible again.
         """
         if not peers:
             raise ClusterError("chaos schedule needs at least one peer")
@@ -133,6 +149,21 @@ class ChaosSchedule:
                                          extra_latency_s))
                 events.append(ChaosEvent(until, "restore", peer))
                 slow_until[peer] = until
+        # Rebalance operations: drawn after the fault loop so a
+        # schedule generated without them consumes exactly the same
+        # rng stream as before (replay compatibility).
+        active = max(1, quiet_from)
+        for _ in range(splits):
+            events.append(ChaosEvent(rng.randrange(active), "split", ""))
+        for _ in range(moves):
+            events.append(ChaosEvent(rng.randrange(active), "move", ""))
+        drainable = list(peers)
+        for _ in range(min(drains, max(0, len(peers) - 2))):
+            peer = rng.choice(drainable)
+            drainable.remove(peer)
+            events.append(ChaosEvent(rng.randrange(active), "drain",
+                                     peer))
+            events.append(ChaosEvent(quiet_from, "undrain", peer))
         events.sort(key=lambda e: (e.step, ACTIONS.index(e.action),
                                    e.peer))
         return cls(steps=steps, events=tuple(events))
@@ -152,6 +183,12 @@ class ChaosReport:
     rejoins: int = 0
     repairs_completed: int = 0
     repairs_failed: int = 0
+    splits: int = 0
+    moves: int = 0
+    drains: int = 0
+    retires: int = 0
+    migrations_failed: int = 0
+    fragments_collected: int = 0
     converged: bool = False
     convergence_ticks: int = 0
     steady_queries: int = 0
@@ -187,6 +224,10 @@ class ChaosReport:
             "evictions": self.evictions, "rejoins": self.rejoins,
             "repairs_completed": self.repairs_completed,
             "repairs_failed": self.repairs_failed,
+            "splits": self.splits, "moves": self.moves,
+            "drains": self.drains, "retires": self.retires,
+            "migrations_failed": self.migrations_failed,
+            "fragments_collected": self.fragments_collected,
             "converged": self.converged,
             "convergence_ticks": self.convergence_ticks,
             "steady_queries": self.steady_queries,
@@ -209,7 +250,7 @@ class ChaosHarness:
 
     def __init__(self, federation, schedule: ChaosSchedule, *,
                  queries: list[tuple[str, str]],
-                 membership=None, repair=None,
+                 membership=None, repair=None, rebalancer=None,
                  serialize=None, at: str = "local", strategy=None,
                  convergence_ticks: int = 24, steady_passes: int = 2):
         if not queries:
@@ -221,8 +262,15 @@ class ChaosHarness:
             else getattr(federation, "membership", None)
         self.repair = repair if repair is not None \
             else getattr(federation, "repair", None)
+        self.rebalancer = rebalancer if rebalancer is not None \
+            else getattr(federation, "rebalancer", None)
         if self.membership is None:
             raise ClusterError("chaos harness needs a membership tracker")
+        if self.rebalancer is None and any(
+                e.action in REBALANCE_ACTIONS for e in schedule.events):
+            raise ClusterError(
+                "schedule contains rebalance actions but no "
+                "rebalancer is attached")
         if serialize is None:
             from repro.xquery.xdm import serialize_sequence
             serialize = serialize_sequence
@@ -262,6 +310,14 @@ class ChaosHarness:
             transport.degrade_peer(event.peer, event.extra_latency_s)
         elif event.action == "restore":
             transport.restore_peer(event.peer)
+        elif event.action == "split":
+            self.rebalancer.chaos_split()
+        elif event.action == "move":
+            self.rebalancer.chaos_move()
+        elif event.action == "drain":
+            self.rebalancer.drain(event.peer)
+        elif event.action == "undrain":
+            self.rebalancer.undrain(event.peer)
 
     # -- the run --------------------------------------------------------------
 
@@ -274,12 +330,26 @@ class ChaosHarness:
             if self.repair is not None:
                 self.repair.process()
             self._query(step, report)
+            if self.rebalancer is not None:
+                # Queries are sequential here, so nothing is in
+                # flight between steps: superseded fragments can
+                # physically retire now.
+                self.rebalancer.collect()
         report.converged = self._converge(report)
         self._steady_state(report)
         if self.repair is not None:
             stats = self.repair.stats()
             report.repairs_completed = stats["completed"]
             report.repairs_failed = stats["failed"]
+        if self.rebalancer is not None:
+            self.rebalancer.collect()
+            stats = self.rebalancer.stats()
+            report.splits = stats.get("splits", 0)
+            report.moves = stats.get("moves", 0)
+            report.drains = stats.get("drains", 0)
+            report.retires = stats.get("retires", 0)
+            report.migrations_failed = stats.get("migrations_failed", 0)
+            report.fragments_collected = stats.get("collected", 0)
         report.evictions = self._evictions
         report.rejoins = self._rejoins
         return report

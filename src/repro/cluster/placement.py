@@ -26,9 +26,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.system.federation import Federation
 
 
+class InsufficientHealthyPeersError(ClusterError):
+    """Too few healthy peers remain to satisfy the requested
+    replication — placing on dead/evicted/draining peers would only
+    fake the replica count."""
+
+
 def shard_local_name(document: str, index: int) -> str:
     """The per-peer document name of one shard fragment."""
     return f"{document}#s{index}"
+
+
+def healthy_peers(peers: list[str], catalog: ClusterCatalog | None = None,
+                  membership=None) -> list[str]:
+    """``peers`` minus everything fresh placements must skip: peers
+    the catalog marks down or draining, and peers the membership
+    tracker holds DEAD/EVICTED."""
+    from repro.cluster.membership import DEAD, EVICTED
+    out = []
+    for name in peers:
+        if catalog is not None and (catalog.is_down(name)
+                                    or catalog.is_draining(name)):
+            continue
+        if membership is not None \
+                and membership.state(name) in (DEAD, EVICTED):
+            continue
+        out.append(name)
+    return out
 
 
 def round_robin_placement(peers: list[str], shard_count: int,
@@ -40,7 +64,7 @@ def round_robin_placement(peers: list[str], shard_count: int,
         raise ClusterError(
             f"replication factor must be >= 1, got {replication_factor}")
     if replication_factor > len(peers):
-        raise ClusterError(
+        raise InsufficientHealthyPeersError(
             f"replication factor {replication_factor} exceeds the "
             f"{len(peers)}-peer fleet")
     return [
@@ -79,6 +103,16 @@ def create_sharded_collection(federation: "Federation",
         raise ClusterError("no peers available for shard placement")
     for peer_name in peers:
         federation.peer(peer_name)  # raises on unknown peer
+    # Fresh fragments never land on peers that cannot serve them (or
+    # are on their way out): filter against the catalog's down and
+    # draining marks and the membership tracker's verdicts.
+    usable = healthy_peers(peers, catalog,
+                           getattr(federation, "membership", None))
+    if len(usable) < replication_factor:
+        raise InsufficientHealthyPeersError(
+            f"collection {name!r} needs {replication_factor} healthy "
+            f"peers, only {len(usable)} of {len(peers)} remain")
+    peers = usable
 
     if partitioner is None:
         partitioner = make_partitioner(partitioning, key_attribute)

@@ -48,7 +48,8 @@ from dataclasses import dataclass, replace as dc_replace
 from repro.cluster.catalog import (
     ClusterCatalog, ClusterError, CollectionSpec, ShardInfo, with_replicas,
 )
-from repro.cluster.membership import ALIVE, DEAD, EVICTED
+from repro.cluster.membership import DEAD, EVICTED
+from repro.cluster.rebalance import LoadScorer
 from repro.errors import NetworkError
 from repro.net.stats import RunStats
 from repro.obs.trace import Tracer, bind_stats_span, child_span, current_span
@@ -280,26 +281,19 @@ class RepairEngine:
 
     def _candidates(self, spec: CollectionSpec,
                     shard: ShardInfo) -> list[str]:
-        """Healthy target peers not already holding the shard, fewest
-        fragments of this collection first (name order tie-break)."""
+        """Target peers not already holding the shard, ranked by the
+        load-aware scorer shared with the rebalancer: alive and
+        non-draining, healthy before demoted, then coolest first
+        (fragment bytes + in-flight + served traffic) — so repair
+        stops piling fragments onto an idle-but-already-full peer."""
         if self.federation is None:
             raise ClusterError("repair engine has no federation")
-        holders = set(shard.replicas)
-        fragment_counts: dict[str, int] = {}
-        for other in spec.shards:
-            for replica in other.replicas:
-                fragment_counts[replica] = (
-                    fragment_counts.get(replica, 0) + 1)
-        names = []
-        for name in self.federation.peers:
-            if name in holders or not self._usable(name):
-                continue
-            if self.membership is not None \
-                    and self.membership.state(name) != ALIVE:
-                continue
-            names.append(name)
-        return sorted(names,
-                      key=lambda n: (fragment_counts.get(n, 0), n))
+        scorer = LoadScorer(
+            self.federation, catalog=self.catalog,
+            membership=self.membership,
+            health=getattr(getattr(self.federation, "monitor", None),
+                           "health", None))
+        return scorer.rank(exclude=set(shard.replicas))
 
     def _repair_one(self, task: RepairTask) -> bool:
         try:

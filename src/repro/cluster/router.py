@@ -296,6 +296,37 @@ class ClusterRouter:
             "scatter_partial_shards_total",
             "shards answered as flagged-empty under partial=allow",
             ("collection",))
+        # Per-shard heat: the rebalancer's primary signal. Labeled by
+        # the shard's *local_name* (stable across split renumbering —
+        # indexes shift when a split inserts a shard, local names
+        # never do). Skipped shards served nothing and are not
+        # counted.
+        self._shard_serves = metrics.counter(
+            "scatter_shard_serves_total",
+            "shard round trips actually served (skips excluded)",
+            ("collection", "shard"))
+        self._shard_seconds = metrics.counter(
+            "scatter_shard_seconds_total",
+            "simulated wire seconds spent serving each shard",
+            ("collection", "shard"))
+        self._shard_bytes = metrics.counter(
+            "scatter_shard_bytes_total",
+            "wire bytes served from each shard",
+            ("collection", "shard"))
+
+    def _note_shard_serve(self, spec: CollectionSpec, shard: ShardInfo,
+                          outcome: "ScatterOutcome") -> None:
+        """Record one served shard round trip into the per-shard heat
+        counters the rebalancer reads."""
+        self._shard_serves.labels(spec.name, shard.local_name).inc()
+        sim_s = outcome.stats.times.total
+        if sim_s > 0:
+            self._shard_seconds.labels(spec.name,
+                                       shard.local_name).inc(sim_s)
+        nbytes = outcome.stats.total_transferred_bytes
+        if nbytes > 0:
+            self._shard_bytes.labels(spec.name,
+                                     shard.local_name).inc(nbytes)
 
     # -- replica selection --------------------------------------------------
 
@@ -446,6 +477,7 @@ class ClusterRouter:
                     "skipped": False,
                     "partial": partial,
                 }
+                self._note_shard_serve(spec, shard, outcome)
                 return outcome
 
             try:
@@ -531,6 +563,7 @@ class ClusterRouter:
                 "skips": 0,
                 "skipped": False,
             }
+            self._note_shard_serve(spec, shard, outcome)
             return outcome
 
         outcomes = self._fan_out(len(spec.shards), fetch_shard)

@@ -66,6 +66,11 @@ def render_fleet(monitor, window_s: float | None = None,
                 f"{_ms(peer['mean_latency_s']):>9}  "
                 f"{_ms(peer['p95_latency_s']):>9}")
 
+    catalog = getattr(getattr(monitor, "federation", None),
+                      "catalog", None)
+    if catalog is not None:
+        lines.extend(_topology_lines(catalog))
+
     states = monitor.slo.states()
     if states:
         lines.append("alerts:")
@@ -86,3 +91,30 @@ def render_fleet(monitor, window_s: float | None = None,
                          f"{event.kind}  {event.message}")
 
     return "\n".join(lines)
+
+
+def _topology_lines(catalog) -> list[str]:
+    """The catalog's shard map, one line per shard: placements, live
+    replica counts against the collection target, and the reason of
+    the last epoch bump — the operator's view of a migration as it
+    cuts over."""
+    snap = catalog.describe()
+    lines = [f"topology    : epoch {snap['epoch']}"
+             + (f" | down {','.join(snap['down'])}" if snap["down"]
+                else "")
+             + (f" | draining {','.join(snap['draining'])}"
+                if snap.get("draining") else "")]
+    for name, coll in sorted(snap["collections"].items()):
+        target = coll.get("target_replication", 0)
+        lines.append(
+            f"  {name} [{coll['partitioning']}] rf={target} "
+            f"last={coll.get('last_reason', '?')}")
+        for shard in coll["shards"]:
+            live = shard.get("live_count", len(shard["replicas"]))
+            flag = "" if live >= target else "  UNDER-REPLICATED"
+            lines.append(
+                f"    s{shard['index']} {shard['local_name']} "
+                f"({shard['members']} members) -> "
+                f"{','.join(shard['replicas'])} "
+                f"live {live}/{target}{flag}")
+    return lines

@@ -50,7 +50,12 @@ def percentile(values: list[float], q: float) -> float:
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
     weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+    low_v, high_v = ordered[low], ordered[high]
+    if weight == 0.0 or low_v == high_v:
+        # Interpolating a*(1-w) + b*w between equal subnormals can
+        # round both products to zero; answer exactly instead.
+        return low_v
+    return low_v + (high_v - low_v) * weight
 
 
 class _Series:

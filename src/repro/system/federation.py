@@ -97,6 +97,18 @@ class Peer:
             listener(self.name, local_name)
         return self
 
+    def remove(self, local_name: str) -> bool:
+        """Drop a document (migration retirement). Fires the same
+        ``(peer_name, local_name)`` listeners as :meth:`store`, so the
+        runtime caches and statistics invalidate identically. Returns
+        False when the name was absent (idempotent retirement)."""
+        with self._lock:
+            present = self.documents.pop(local_name, None) is not None
+            listeners = list(self._store_listeners) if present else []
+        for listener in listeners:
+            listener(self.name, local_name)
+        return present
+
     def document(self, local_name: str) -> Document:
         try:
             return self.documents[local_name]

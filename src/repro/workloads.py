@@ -291,6 +291,27 @@ return if ($p/child::age < 40) then $p else ()
 """
 
 
+#: A hot-tenant point lookup: every request matches one person id, so
+#: the router's value-index probes prove every other shard empty and
+#: skip them — all the served heat lands on the single shard holding
+#: that id. This is the skew signal the rebalancer's planner feeds on.
+SHARDED_HOT_QUERY = f"""
+for $p in doc("xrpc://{PEOPLE_COLLECTION}/people.xml")
+    /child::site/child::people/child::person
+return if ($p/attribute::id = "person0") then $p/child::name else ()
+"""
+
+
+def sharded_hot_variant(person: int = 0) -> str:
+    """``SHARDED_HOT_QUERY`` re-aimed at another person id (a different
+    tenant's hot key, possibly on a different shard)."""
+    anchor = '"person0"'
+    if anchor not in SHARDED_HOT_QUERY:
+        raise ValueError(
+            f"SHARDED_HOT_QUERY no longer contains the {anchor!r} anchor")
+    return SHARDED_HOT_QUERY.replace(anchor, f'"person{person}"')
+
+
 def sharded_scan_variant(max_age: int = 40) -> str:
     """``SHARDED_SCAN_QUERY`` with the tenant's age threshold."""
     anchor = "< 40"

@@ -1,0 +1,289 @@
+"""Property tests for the migration protocol.
+
+Three invariants the executor must hold under any input:
+
+1. **Split exactness** — the two child fragments of any boundary split
+   merge back byte-exactly into the parent fragment.
+2. **No intermediate under-replication, no torn placement** — at every
+   catalog state a migration publishes, the migrated shard's live
+   replica count is ≥ its pre-migration count, and every published
+   replica already holds the fragment bytes (checked synchronously
+   inside ``replace``, before any reader can observe the state).
+3. **Mid-migration deaths converge** — killing the copy source or the
+   destination at any point yields either a completed cutover or a
+   clean give-up with the catalog untouched; after revival the repair
+   loop restores target replication and answers stay byte-exact.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    BoundaryPartitioner, ClusterCatalog, MigrationExecutor, MovePlan,
+    SplitPlan, create_sharded_collection, merge_shard_documents,
+    partition_document,
+)
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.repair import RepairEngine
+from repro.decompose import Strategy
+from repro.net.costmodel import CostModel
+from repro.runtime.transport import LoopbackTransport
+from repro.system.federation import Federation
+from repro.xmldb.parser import parse_document
+from repro.xmldb.serializer import serialize
+
+from tests.cluster.conftest import LIBRARY_CONTAINER, LIBRARY_MEMBER
+
+SCAN = ('doc("xrpc://books-c/books.xml")'
+        "/child::library/child::books/child::book/child::title")
+
+
+def library_xml(count: int) -> str:
+    return (
+        "<library><meta><curator>Ann</curator></meta><books>"
+        + "".join(f'<book id="b{i}"><title>Book {i}</title>'
+                  f"<year>{2000 + i}</year></book>"
+                  for i in range(count))
+        + "</books><staff><clerk>Bob</clerk></staff></library>"
+    )
+
+
+class RecordingCatalog(ClusterCatalog):
+    """Checks the no-torn-placement invariant *synchronously* inside
+    every ``replace`` — at the instant a placement becomes visible,
+    every replica it names must already hold the fragment."""
+
+    def __init__(self, federation_ref):
+        super().__init__()
+        self.federation_ref = federation_ref
+        self.history: list[tuple[str, dict[int, int]]] = []
+
+    def replace(self, spec, reason="replace", **attrs):
+        federation = self.federation_ref()
+        for shard in spec.shards:
+            for replica in shard.replicas:
+                assert shard.local_name in \
+                    federation.peer(replica).documents, (
+                        f"torn placement: {reason} published "
+                        f"{shard.local_name} on {replica} before the "
+                        f"bytes landed")
+        self.history.append(
+            (reason, {s.index: len(self.live_replicas(s))
+                      for s in spec.shards}))
+        super().replace(spec, reason=reason, **attrs)
+
+
+class KillAfter(LoopbackTransport):
+    """Kills ``victim`` after ``threshold`` document fetches — the
+    seeded mid-migration death."""
+
+    def __init__(self, cost_model, victim: str | None = None,
+                 threshold: int = 0):
+        super().__init__(cost_model)
+        self.victim = victim
+        self.threshold = threshold
+        self.fetches = 0
+
+    def fetch_document(self, owner, local_name, stats):
+        if self.victim is not None:
+            if self.fetches >= self.threshold:
+                self.kill_peer(self.victim)
+                self.victim = None
+            self.fetches += 1
+        return super().fetch_document(owner, local_name, stats)
+
+
+def make_recorded_cluster(members: int = 8, shard_count: int = 2,
+                          transport=None):
+    holder: list[Federation] = []
+    catalog = RecordingCatalog(lambda: holder[0])
+    federation = Federation(catalog=catalog, transport=transport)
+    holder.append(federation)
+    for node in ("node1", "node2", "node3", "node4"):
+        federation.add_peer(node)
+    federation.add_peer("local")
+    create_sharded_collection(
+        federation, catalog, name="books-c",
+        document=parse_document(library_xml(members),
+                                uri="xrpc://books-c/books.xml"),
+        document_name="books.xml", container_path=LIBRARY_CONTAINER,
+        member=LIBRARY_MEMBER, shard_count=shard_count,
+        replication_factor=2,
+        peers=["node1", "node2", "node3", "node4"])
+    return federation, catalog
+
+
+# -- invariant 1: split exactness -------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(members=st.integers(min_value=2, max_value=30),
+       data=st.data())
+def test_split_children_union_to_parent_bytes(members, data):
+    at = data.draw(st.integers(min_value=1, max_value=members - 1))
+    text = library_xml(members)
+    doc = parse_document(text, uri="xrpc://c/books.xml")
+    fragments = partition_document(
+        doc, LIBRARY_CONTAINER, LIBRARY_MEMBER, 2,
+        BoundaryPartitioner(at))
+    counts = [count for _frag, count in fragments]
+    assert counts == [at, members - at]
+    merged = merge_shard_documents(
+        [frag for frag, _count in fragments], uri=doc.uri,
+        container_path=LIBRARY_CONTAINER)
+    assert serialize(merged) == serialize(doc)
+
+
+# -- invariant 2: live replicas never dip, placements never tear -------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(members=st.integers(min_value=2, max_value=12),
+       data=st.data())
+def test_migrations_never_reduce_live_replicas(members, data):
+    federation, catalog = make_recorded_cluster(members=members)
+    executor = MigrationExecutor(federation)
+    spec = catalog.get("books-c")
+    pre_live = {s.index: len(catalog.live_replicas(s))
+                for s in spec.shards}
+    shard = data.draw(st.sampled_from(spec.shards))
+    do_split = data.draw(st.booleans()) and shard.members >= 2
+    if do_split:
+        at = data.draw(st.integers(min_value=1,
+                                   max_value=shard.members - 1))
+        assert executor.execute(SplitPlan("books-c", shard.index,
+                                          at_member=at))
+    else:
+        source = data.draw(st.sampled_from(shard.replicas))
+        targets = [p for p in ("node1", "node2", "node3", "node4")
+                   if p not in shard.replicas]
+        assert executor.execute(MovePlan(
+            "books-c", shard.index, source=source,
+            target=data.draw(st.sampled_from(targets))))
+    # RecordingCatalog.replace already proved no placement tore; here:
+    # no published state dropped a surviving shard below its
+    # pre-migration live count.
+    for reason, live_by_index in catalog.history:
+        if reason != "rebalance":
+            continue
+        for index, live in live_by_index.items():
+            if index in pre_live and not do_split:
+                assert live >= pre_live[index]
+            else:
+                assert live >= 2   # split children start fully placed
+
+
+# -- invariant 3: seeded mid-migration deaths converge -----------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(victim_is_target=st.booleans(),
+       threshold=st.integers(min_value=0, max_value=3),
+       data=st.data())
+def test_kill_mid_move_converges(victim_is_target, threshold, data):
+    transport = KillAfter(CostModel())
+    federation, catalog = make_recorded_cluster(members=8,
+                                                transport=transport)
+    RepairEngine(auto_repair=False).attach(federation)
+    rebalancer = Rebalancer().attach(federation)
+    spec = catalog.get("books-c")
+    shard = data.draw(st.sampled_from(spec.shards))
+    source = shard.replicas[0]
+    target = next(p for p in ("node1", "node2", "node3", "node4")
+                  if p not in shard.replicas)
+    pre_live = len(catalog.live_replicas(shard))
+
+    transport.victim = target if victim_is_target else source
+    transport.threshold = threshold
+    plan = MovePlan("books-c", shard.index, source=source,
+                    target=target)
+    rebalancer.executor.execute(plan)   # may complete or give up
+
+    # Whatever happened, the victim's death never dropped the shard
+    # below its pre-migration live count: give-up leaves the catalog
+    # untouched, completion swaps a live copy in atomically.
+    spec_now = catalog.get("books-c")
+    shard_now = next(s for s in spec_now.shards
+                     if s.index == shard.index)
+    live_now = [r for r in shard_now.replicas
+                if not transport.is_down(r)]
+    assert len(live_now) >= pre_live - (
+        1 if not victim_is_target else 0)
+    # The dead peer revives; repair restores target replication and
+    # the collection answers byte-exactly everywhere.
+    for peer in ("node1", "node2", "node3", "node4"):
+        transport.revive_peer(peer)
+    repair = federation.repair
+    assert repair.run_until_converged()
+    spec_final = catalog.get("books-c")
+    for s in spec_final.shards:
+        assert len(s.replicas) >= spec_final.target_replication
+        for replica in s.replicas:
+            assert s.local_name in federation.peer(replica).documents
+    result = federation.run(SCAN, at="local",
+                            strategy=Strategy.BY_PROJECTION)
+    assert len(result.items) == 8
+
+
+def test_give_up_emits_failure_and_leaves_catalog_alone():
+    transport = KillAfter(CostModel(), victim=None)
+    federation, catalog = make_recorded_cluster(members=6,
+                                                transport=transport)
+    executor = MigrationExecutor(federation, max_attempts=2)
+    spec = catalog.get("books-c")
+    shard = spec.shards[0]
+    target = next(p for p in ("node1", "node2", "node3", "node4")
+                  if p not in shard.replicas)
+    # Dead target from the start: every verify read-back fails.
+    transport.kill_peer(target)
+    epoch = catalog.epoch()
+    assert not executor.execute(MovePlan(
+        "books-c", shard.index, source=shard.replicas[0],
+        target=target))
+    assert catalog.epoch() == epoch
+    assert executor.stats()["migrations_failed"] == 1
+    # Rollback removed the half-copied fragment from the dead target.
+    assert shard.local_name not in federation.peer(target).documents
+
+
+def test_stale_plans_are_noops():
+    federation, catalog = make_recorded_cluster(members=6)
+    executor = MigrationExecutor(federation)
+    spec = catalog.get("books-c")
+    shard = spec.shards[0]
+    epoch = catalog.epoch()
+    # Target already a replica.
+    assert not executor.execute(MovePlan(
+        "books-c", shard.index, source=shard.replicas[0],
+        target=shard.replicas[1]))
+    # Source not a replica.
+    assert not executor.execute(MovePlan(
+        "books-c", shard.index, source="local",
+        target="node4"))
+    # Unknown shard index.
+    assert not executor.execute(SplitPlan("books-c", 99, at_member=1))
+    assert catalog.epoch() == epoch
+    assert executor.stats()["migrations_failed"] == 0
+
+
+def test_retire_refuses_to_break_replication():
+    federation, catalog = make_recorded_cluster(members=6)
+    executor = MigrationExecutor(federation)
+    spec = catalog.get("books-c")
+    shard = spec.shards[0]
+    # At exactly target replication: retiring any replica must refuse.
+    assert not executor.retire_replica("books-c", shard.index,
+                                       shard.replicas[0])
+    # Over-replicate by hand, then retiring works.
+    federation.peer("node4").store(
+        shard.local_name,
+        federation.peer(shard.replicas[0]).serialized(shard.local_name))
+    from dataclasses import replace as dc_replace
+    from repro.cluster.catalog import with_replicas
+    wider = tuple(
+        with_replicas(s, s.replicas + ("node4",))
+        if s.index == shard.index else s for s in spec.shards)
+    catalog.replace(dc_replace(spec, shards=wider), reason="test")
+    assert executor.retire_replica("books-c", shard.index, "node4")
+    spec_now = catalog.get("books-c")
+    assert "node4" not in spec_now.shards[shard.index].replicas

@@ -3,6 +3,10 @@ mid-workload while the fleet keeps answering correctly, health demotes
 the degrading replica before it ever fails a request, and the SLO
 burn-rate alert fires exactly once for the sustained breach."""
 
+import gc
+
+import pytest
+
 from repro.cluster.router import ClusterRouter
 from repro.decompose import Strategy
 from repro.obs import SLO, BurnRatePolicy, FleetMonitor
@@ -19,6 +23,25 @@ SCAN = ('doc("xrpc://books-c/books.xml")'
 #: those) breach the latency SLO.
 DEGRADE_S = 0.080
 SLOW_S = 0.030
+
+
+@pytest.fixture(autouse=True)
+def _no_gc_pauses():
+    """Late in a full-suite run the heap holds a thousand tests' worth
+    of objects, and a gen-2 collection pause straddles several of this
+    soak's ~2 ms queries at once — enough correlated >30 ms samples to
+    fire the latency alert against a perfectly healthy fleet. Freeze
+    the pre-existing heap out of the collector and switch GC off for
+    the test's short, bounded allocation window."""
+    gc.collect()
+    gc.freeze()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+        gc.unfreeze()
+        gc.collect()
 
 
 def run_batch(engine, n):
@@ -48,7 +71,11 @@ def test_soak_churn_degrade_and_alert(tmp_path):
     with FederationEngine(cluster, max_workers=2, cache=False,
                           batch_window_s=0.0) as engine:
         # Phase 1 — healthy warmup: correct answers, no churn events.
-        assert run_batch(engine, 8) == {baseline}
+        # 16 queries, not a handful: the alert needs a >=20% bad
+        # fraction over the long window, so a couple of stray
+        # scheduler/GC pauses above the slow threshold (routine on a
+        # loaded CI box) can never fire it against a healthy fleet.
+        assert run_batch(engine, 16) == {baseline}
         summary = engine.metrics.summary()
         assert summary["failed"] == 0
         assert summary["failovers"] == 0
@@ -62,7 +89,9 @@ def test_soak_churn_degrade_and_alert(tmp_path):
         cluster.catalog.mark_down("node1")
         cluster.catalog.mark_down("node3")
         cluster.transport.degrade_peer("node2", DEGRADE_S)
-        assert run_batch(engine, 6) == {baseline}
+        # 12 degraded queries: enough that the long-window bad
+        # fraction breaches decisively even after the larger warmup.
+        assert run_batch(engine, 12) == {baseline}
 
         demotions = monitor.events.recent(kind="health_demoted")
         assert demotions, "degraded replica was never demoted"
@@ -80,7 +109,7 @@ def test_soak_churn_degrade_and_alert(tmp_path):
         # The sustained breach fired the burn-rate alert exactly once,
         # and every degraded query tripped the slow-query detector.
         assert monitor.events.count("alert_fired") == 1
-        assert monitor.events.count("slow_query") >= 6
+        assert monitor.events.count("slow_query") >= 12
 
         # Phase 3 — the fleet heals topologically (marks lifted) but
         # node2's windows still hold the slow history: the router sorts
